@@ -1,0 +1,59 @@
+// Supporting sweep for §8.3's closing claim: "We observe a similar trend
+// for other event rates and sizes" — the Gap vs Gapless delivery gap under
+// link loss is independent of the event rate and of the event size.
+//
+// Grid: rates {1, 10, 50} ev/s x sizes {4 B, 1 KB, 20 KB} at 30% loss,
+// 5 processes, 3 receiving, receiver farthest from the app process.
+#include "bench_util.hpp"
+
+namespace riv::bench {
+namespace {
+
+double delivered_pct(appmodel::Guarantee g, double rate,
+                     std::uint32_t payload, std::uint64_t seed) {
+  ScenarioOptions opt;
+  opt.n_processes = 5;
+  opt.receiver_indices = {1, 2, 3};
+  opt.link_loss = 0.3;
+  opt.rate_hz = rate;
+  opt.payload = payload;
+  opt.guarantee = g;
+  opt.seed = seed;
+  auto home = make_scenario(opt);
+  home->start();
+  home->run_for(seconds(100));
+  double emitted =
+      static_cast<double>(home->bus().sensor(kSensor).events_emitted());
+  return 100.0 *
+         static_cast<double>(
+             home->metrics().counter_value("app1.delivered")) /
+         emitted;
+}
+
+}  // namespace
+}  // namespace riv::bench
+
+int main() {
+  using namespace riv::bench;
+  print_header(
+      "Sweep (§8.3 claim): Gap/Gapless delivery under 30% loss is "
+      "insensitive to event rate and size",
+      "Gap ~70% and Gapless ~97% (1 - 0.3^3) across the whole grid");
+  const double rates[] = {1.0, 10.0, 50.0};
+  const std::uint32_t sizes[] = {4, 1024, 20 * 1024};
+  const char* size_names[] = {"4B", "1KB", "20KB"};
+  std::printf("\n%-8s %-6s %10s %12s\n", "rate", "size", "Gap(%)",
+              "Gapless(%)");
+  std::uint64_t seed = 1500;
+  for (double rate : rates) {
+    for (int s = 0; s < 3; ++s) {
+      double gap = delivered_pct(riv::appmodel::Guarantee::kGap, rate,
+                                 sizes[s], seed++);
+      double gapless = delivered_pct(riv::appmodel::Guarantee::kGapless,
+                                     rate, sizes[s], seed++);
+      std::printf("%-8.0f %-6s %10.1f %12.1f\n", rate, size_names[s], gap,
+                  gapless);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared helpers for the evaluation harness (§8).
+//
+// Every bench binary regenerates one table or figure of the paper. The
+// common scenario mirrors §8.2's setup: one IP-based software sensor
+// (event size and rate configurable), n Rivulet processes, an explicit
+// placement chain [p1, p2, ...] so p1 is always the application-bearing
+// process, and a minimal single-operator app without actuators so the
+// measured traffic is purely the delivery service's.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/apps.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv::bench {
+
+inline constexpr AppId kApp{1};
+inline constexpr SensorId kSensor{1};
+
+struct ScenarioOptions {
+  int n_processes{5};
+  std::vector<int> receiver_indices{1};  // farthest from p1 in ring order
+  double link_loss{0.0};
+  std::uint32_t payload{4};
+  double rate_hz{10.0};
+  appmodel::Guarantee guarantee{appmodel::Guarantee::kGapless};
+  std::uint64_t seed{1};
+};
+
+inline appmodel::AppGraph sink_app(appmodel::Guarantee guarantee) {
+  appmodel::AppBuilder app(kApp, "sink");
+  auto op = app.add_operator("Sink");
+  op.add_sensor(kSensor, guarantee, appmodel::WindowSpec::count_window(1));
+  op.handle_triggered_window(
+      [](const std::vector<appmodel::StreamWindow>&,
+         appmodel::TriggerContext&) {});
+  return app.build();
+}
+
+inline std::unique_ptr<workload::HomeDeployment> make_scenario(
+    const ScenarioOptions& opt) {
+  workload::HomeDeployment::Options home_opt;
+  home_opt.seed = opt.seed;
+  home_opt.n_processes = opt.n_processes;
+  // Deterministic placement: p1 bears the app, then ascending ids — the
+  // chain §8.2 implies when it places the receiver "farthest" from the
+  // application-bearing process.
+  std::vector<ProcessId> chain;
+  for (int i = 0; i < opt.n_processes; ++i)
+    chain.push_back(ProcessId{static_cast<std::uint16_t>(i + 1)});
+  home_opt.config.placement_override[kApp] = chain;
+
+  auto home = std::make_unique<workload::HomeDeployment>(home_opt);
+
+  devices::SensorSpec spec;
+  spec.id = kSensor;
+  spec.name = "software-sensor";
+  spec.kind = devices::SensorKind::kTemperature;
+  spec.tech = devices::Technology::kIp;  // §8.1's IP software sensor
+  spec.push = true;
+  spec.payload_size = opt.payload;
+  spec.rate_hz = opt.rate_hz;
+  spec.pattern = devices::EmitPattern::kPeriodic;
+
+  std::vector<ProcessId> receivers;
+  for (int i : opt.receiver_indices) receivers.push_back(home->pid(i));
+  devices::LinkParams link;
+  link.loss_prob = opt.link_loss;
+  home->add_sensor(spec, receivers, link);
+  home->deploy(sink_app(opt.guarantee));
+  return home;
+}
+
+// Bytes attributable to event delivery (ring + fallback broadcast + gap
+// forwards + successor sync), excluding membership chatter.
+inline std::uint64_t delivery_bytes(metrics::Registry& m) {
+  return m.counter_value("net.bytes.ring_event") +
+         m.counter_value("net.bytes.rb_event") +
+         m.counter_value("net.bytes.gap_forward") +
+         m.counter_value("net.bytes.sync_request") +
+         m.counter_value("net.bytes.sync_response");
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_expectation) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace riv::bench

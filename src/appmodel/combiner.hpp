@@ -1,0 +1,74 @@
+// Combiners (§6.1): how triggered windows from multiple input streams are
+// merged before being presented to an operator.
+//
+// The default combiner requires every input stream to have a triggered
+// window — the strictest semantics, which stalls when any sensor fails.
+// FTCombiner(f) is the paper's fault-tolerance abstraction: the programmer
+// declares that the operator tolerates up to f failed input streams, and
+// triggered windows are delivered whenever at least (n - f) streams have
+// data. Listing 1 (intrusion, f = n-1: any one door sensor suffices) and
+// Listing 2 (Marzullo averaging, f = floor((n-1)/3) for arbitrary sensor
+// faults) both build on it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devices/event.hpp"
+
+namespace riv::appmodel {
+
+// One stream's triggered window as handed to the operator.
+struct StreamWindow {
+  std::string stream;  // "s:<sensor id>" or upstream operator name
+  std::vector<devices::SensorEvent> events;
+};
+
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  // `ready` = streams with a non-empty triggered window this round;
+  // `total_streams` = number of input streams wired to the operator.
+  // Return true to deliver the combined windows now.
+  virtual bool should_deliver(const std::vector<StreamWindow>& ready,
+                              std::size_t total_streams) const = 0;
+
+  virtual std::unique_ptr<Combiner> clone() const = 0;
+};
+
+// Deliver only when every input stream contributed.
+class AllCombiner final : public Combiner {
+ public:
+  bool should_deliver(const std::vector<StreamWindow>& ready,
+                      std::size_t total_streams) const override {
+    return !ready.empty() && ready.size() >= total_streams;
+  }
+  std::unique_ptr<Combiner> clone() const override {
+    return std::make_unique<AllCombiner>();
+  }
+};
+
+// Deliver when at least (total - f) streams contributed.
+class FTCombiner final : public Combiner {
+ public:
+  explicit FTCombiner(std::size_t max_failures) : f_(max_failures) {}
+
+  bool should_deliver(const std::vector<StreamWindow>& ready,
+                      std::size_t total_streams) const override {
+    if (ready.empty()) return false;
+    std::size_t required = total_streams > f_ ? total_streams - f_ : 1;
+    return ready.size() >= required;
+  }
+  std::size_t max_failures() const { return f_; }
+  std::unique_ptr<Combiner> clone() const override {
+    return std::make_unique<FTCombiner>(f_);
+  }
+
+ private:
+  std::size_t f_;
+};
+
+}  // namespace riv::appmodel

@@ -1,0 +1,139 @@
+#include "appmodel/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace riv::appmodel {
+
+std::vector<SensorId> AppGraph::sensors() const {
+  std::vector<SensorId> out;
+  for (const SensorEdge& e : sensor_edges) {
+    if (std::find(out.begin(), out.end(), e.sensor) == out.end())
+      out.push_back(e.sensor);
+  }
+  return out;
+}
+
+std::vector<ActuatorId> AppGraph::actuators() const {
+  std::vector<ActuatorId> out;
+  for (const ActuatorEdge& e : actuator_edges) {
+    if (std::find(out.begin(), out.end(), e.actuator) == out.end())
+      out.push_back(e.actuator);
+  }
+  return out;
+}
+
+const OperatorSpec* AppGraph::find_operator(const std::string& name) const {
+  for (const OperatorSpec& op : operators) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+const SensorEdge* AppGraph::find_sensor_edge(SensorId sensor,
+                                             const std::string& op) const {
+  for (const SensorEdge& e : sensor_edges) {
+    if (e.sensor == sensor && e.to_op == op) return &e;
+  }
+  return nullptr;
+}
+
+void AppGraph::validate() const {
+  std::set<std::string> names;
+  for (const OperatorSpec& op : operators) {
+    RIV_ASSERT(!op.name.empty(), "operator needs a name");
+    RIV_ASSERT(names.insert(op.name).second, "duplicate operator name");
+    RIV_ASSERT(op.combiner != nullptr, "operator needs a combiner");
+  }
+  for (const SensorEdge& e : sensor_edges)
+    RIV_ASSERT(names.count(e.to_op) != 0, "sensor edge to unknown operator");
+  for (const ActuatorEdge& e : actuator_edges)
+    RIV_ASSERT(names.count(e.from_op) != 0,
+               "actuator edge from unknown operator");
+  for (const OperatorEdge& e : operator_edges) {
+    RIV_ASSERT(names.count(e.from_op) != 0, "edge from unknown operator");
+    RIV_ASSERT(names.count(e.to_op) != 0, "edge to unknown operator");
+  }
+
+  // Acyclicity via Kahn's algorithm over operator edges.
+  std::map<std::string, int> indegree;
+  for (const OperatorSpec& op : operators) indegree[op.name] = 0;
+  for (const OperatorEdge& e : operator_edges) ++indegree[e.to_op];
+  std::vector<std::string> frontier;
+  for (const auto& [name, deg] : indegree)
+    if (deg == 0) frontier.push_back(name);
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    std::string cur = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const OperatorEdge& e : operator_edges) {
+      if (e.from_op == cur && --indegree[e.to_op] == 0)
+        frontier.push_back(e.to_op);
+    }
+  }
+  RIV_ASSERT(visited == operators.size(),
+             "application operator graph must be acyclic (§3.2)");
+}
+
+OperatorBuilder& OperatorBuilder::add_sensor(SensorId sensor,
+                                             Guarantee guarantee,
+                                             WindowSpec window,
+                                             PollingPolicy polling) {
+  app_->graph_.sensor_edges.push_back(
+      SensorEdge{sensor, guarantee, window, polling, name_});
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::add_upstream_operator(const std::string& op,
+                                                        WindowSpec window) {
+  app_->graph_.operator_edges.push_back(OperatorEdge{op, name_, window});
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::add_actuator(ActuatorId actuator,
+                                               Guarantee guarantee) {
+  app_->graph_.actuator_edges.push_back(
+      ActuatorEdge{actuator, guarantee, name_});
+  return *this;
+}
+
+OperatorBuilder& OperatorBuilder::handle_triggered_window(
+    TriggerHandler handler) {
+  for (OperatorSpec& op : app_->graph_.operators) {
+    if (op.name == name_) {
+      op.handler = std::move(handler);
+      return *this;
+    }
+  }
+  RIV_ASSERT(false, "operator vanished from its own builder");
+  return *this;
+}
+
+AppBuilder::AppBuilder(AppId id, std::string name) {
+  graph_.id = id;
+  graph_.name = std::move(name);
+}
+
+OperatorBuilder AppBuilder::add_operator(const std::string& name) {
+  return add_operator(name, std::make_unique<AllCombiner>());
+}
+
+OperatorBuilder AppBuilder::add_operator(const std::string& name,
+                                         std::unique_ptr<Combiner> combiner) {
+  OperatorSpec spec;
+  spec.name = name;
+  spec.combiner = std::shared_ptr<const Combiner>(std::move(combiner));
+  graph_.operators.push_back(std::move(spec));
+  return OperatorBuilder(*this, name);
+}
+
+AppGraph AppBuilder::build() {
+  graph_.validate();
+  return graph_;
+}
+
+}  // namespace riv::appmodel

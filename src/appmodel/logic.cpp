@@ -1,0 +1,164 @@
+#include "appmodel/logic.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace riv::appmodel {
+
+LogicInstance::LogicInstance(const AppGraph& graph, sim::Simulation& sim,
+                             Callbacks callbacks)
+    : graph_(&graph), timers_(sim), callbacks_(std::move(callbacks)) {
+  for (const OperatorSpec& spec : graph.operators) {
+    OpState state;
+    state.spec = &spec;
+    state.combiner = spec.combiner->clone();
+    ops_.emplace(spec.name, std::move(state));
+  }
+  for (const SensorEdge& e : graph.sensor_edges) {
+    OpState& op = ops_.at(e.to_op);
+    op.streams.push_back(
+        Stream{sensor_key(e.sensor), e.sensor, Window(e.window), {}});
+  }
+  for (const OperatorEdge& e : graph.operator_edges) {
+    OpState& to = ops_.at(e.to_op);
+    to.streams.push_back(
+        Stream{op_key(e.from_op), std::nullopt, Window(e.window), {}});
+    ops_.at(e.from_op).downstream_ops.push_back(e.to_op);
+  }
+  for (const ActuatorEdge& e : graph.actuator_edges)
+    ops_.at(e.from_op).actuators.push_back(&e);
+}
+
+void LogicInstance::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& [name, op] : ops_) {
+    for (Stream& stream : op.streams) {
+      if (stream.window.spec().trigger.kind == TriggerPolicy::Kind::kPeriodic)
+        arm_periodic(op, stream);
+    }
+  }
+}
+
+void LogicInstance::arm_periodic(OpState& op, Stream& stream) {
+  Duration period = stream.window.spec().trigger.period;
+  RIV_ASSERT(period.us > 0, "periodic trigger needs a positive period");
+  timers_.schedule_after(period, [this, &op, &stream] {
+    take_pending(op, stream);
+    evaluate(op);
+    arm_periodic(op, stream);
+  });
+}
+
+void LogicInstance::on_sensor_event(const devices::SensorEvent& e) {
+  ++events_consumed_;
+  const std::string key = sensor_key(e.id.sensor);
+  for (auto& [name, op] : ops_) {
+    for (Stream& stream : op.streams) {
+      if (stream.key == key) feed(op, stream, e);
+    }
+  }
+}
+
+void LogicInstance::feed(OpState& op, Stream& stream,
+                         const devices::SensorEvent& e) {
+  stream.window.add(e, timers_.now());
+  try_trigger_event_driven(op, stream);
+}
+
+void LogicInstance::try_trigger_event_driven(OpState& op, Stream& stream) {
+  if (!stream.window.event_trigger_ready()) return;
+  take_pending(op, stream);
+  evaluate(op);
+}
+
+void LogicInstance::take_pending(OpState& op, Stream& stream) {
+  (void)op;
+  std::vector<devices::SensorEvent> events =
+      stream.window.snapshot(timers_.now());
+  if (events.empty()) return;  // an empty window never counts as "ready"
+  stream.pending = StreamWindow{stream.key, std::move(events)};
+  stream.window.after_trigger(timers_.now());
+}
+
+void LogicInstance::evaluate(OpState& op) {
+  std::vector<StreamWindow> ready;
+  for (Stream& stream : op.streams) {
+    if (stream.pending) ready.push_back(*stream.pending);
+  }
+  if (ready.empty()) return;
+  if (!op.combiner->should_deliver(ready, op.streams.size())) {
+    ++combiner_blocked_;
+    return;
+  }
+  for (Stream& stream : op.streams) stream.pending.reset();
+  deliver(op, std::move(ready));
+}
+
+void LogicInstance::deliver(OpState& op, std::vector<StreamWindow> ready) {
+  ++triggers_fired_;
+  if (!op.spec->handler) return;
+
+  TriggerContext ctx;
+  ctx.self_ = callbacks_.self;
+  ctx.now_fn = [this] { return timers_.now(); };
+  ctx.kv_put_fn = [this](const std::string& key, double value) {
+    if (callbacks_.kv_put) {
+      callbacks_.kv_put(key, value);
+    } else {
+      local_kv_[key] = value;
+    }
+  };
+  ctx.kv_get_fn =
+      [this](const std::string& key) -> std::optional<double> {
+    if (callbacks_.kv_get) return callbacks_.kv_get(key);
+    auto it = local_kv_.find(key);
+    if (it == local_kv_.end()) return std::nullopt;
+    return it->second;
+  };
+  ctx.emit_fn = [this, &op](double value) { emit_downstream(op, value); };
+  ctx.actuate_fn = [this, &op](ActuatorId actuator, bool tas, double expected,
+                               double value) {
+    const ActuatorEdge* edge = nullptr;
+    for (const ActuatorEdge* e : op.actuators) {
+      if (e->actuator == actuator) edge = e;
+    }
+    RIV_ASSERT(edge != nullptr,
+               "handler actuated a device not wired to this operator");
+    devices::Command cmd;
+    cmd.id = callbacks_.next_command_id();
+    cmd.actuator = actuator;
+    cmd.test_and_set = tas;
+    cmd.expected = expected;
+    cmd.value = value;
+    cmd.issued_at = timers_.now();
+    ++commands_issued_;
+    callbacks_.command_sink(*edge, cmd);
+  };
+  op.spec->handler(ready, ctx);
+}
+
+void LogicInstance::emit_downstream(OpState& from, double value) {
+  // Derived events carry no sensor identity; downstream streams are keyed
+  // by the emitting operator's name.
+  devices::SensorEvent e;
+  e.id = EventId{SensorId{0xffff}, emit_seq_++};
+  e.emitted_at = timers_.now();
+  e.value = value;
+  e.payload_size = 8;
+  const std::string key = op_key(from.spec->name);
+  for (const std::string& down : from.downstream_ops) {
+    OpState& op = ops_.at(down);
+    for (Stream& stream : op.streams) {
+      if (stream.key == key) feed(op, stream, e);
+    }
+  }
+}
+
+void LogicInstance::on_staleness_violation(SensorId sensor,
+                                           std::uint32_t epoch) {
+  ++staleness_violations_;
+  if (staleness_handler_) staleness_handler_(sensor, epoch);
+}
+
+}  // namespace riv::appmodel

@@ -1,0 +1,66 @@
+#include "appmodel/marzullo.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace riv::appmodel {
+
+std::optional<Interval> marzullo_fuse(const std::vector<Interval>& readings,
+                                      std::size_t f) {
+  const std::size_t n = readings.size();
+  if (n == 0) return std::nullopt;
+  if (f >= n) f = n - 1;  // at least one genuine reading is always required
+  const int need = static_cast<int>(n - f);
+
+  // Sweep endpoints: +1 at interval start, -1 at interval end.
+  struct Edge {
+    double x;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * n);
+  for (const Interval& r : readings) {
+    edges.push_back({std::min(r.lo, r.hi), +1});
+    edges.push_back({std::max(r.lo, r.hi), -1});
+  }
+  // Ascending; at equal x, starts before ends so closed intervals touching
+  // at a point count as overlapping.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.delta > b.delta;
+  });
+
+  // l: smallest value contained in at least `need` intervals.
+  std::optional<double> lo;
+  int depth = 0;
+  for (const Edge& e : edges) {
+    depth += e.delta;
+    if (depth >= need) {
+      lo = e.x;
+      break;
+    }
+  }
+  if (!lo) return std::nullopt;
+
+  // u: largest such value — sweep from the right, where an interval end
+  // opens coverage and a start closes it.
+  std::optional<double> hi;
+  depth = 0;
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    depth += (it->delta == -1) ? +1 : -1;
+    if (depth >= need) {
+      hi = it->x;
+      break;
+    }
+  }
+  if (!hi) return std::nullopt;
+  return Interval{*lo, *hi};
+}
+
+std::size_t marzullo_max_failstop(std::size_t n) { return n == 0 ? 0 : n - 1; }
+
+std::size_t marzullo_max_arbitrary(std::size_t n) {
+  return n == 0 ? 0 : (n - 1) / 3;
+}
+
+}  // namespace riv::appmodel

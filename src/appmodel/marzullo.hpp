@@ -1,0 +1,31 @@
+// Marzullo's fault-tolerant interval averaging (§6.2, [Marzullo 1990]).
+//
+// Given n interval readings of which at most f may be faulty, the fused
+// value is the interval [l, u] where l is the smallest value contained in
+// at least (n - f) of the intervals and u is the largest such value.
+// Tolerates fail-stop sensors with f <= n-1 and arbitrary (Byzantine)
+// sensors with f <= floor((n-1)/3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace riv::appmodel {
+
+struct Interval {
+  double lo{0.0};
+  double hi{0.0};
+  bool operator==(const Interval&) const = default;
+};
+
+// Returns std::nullopt when fewer than (n - f) intervals overlap anywhere
+// (the failure assumption is violated) or when the input is empty.
+std::optional<Interval> marzullo_fuse(const std::vector<Interval>& readings,
+                                      std::size_t f);
+
+// Max f tolerable for fail-stop sensors: n - 1.
+std::size_t marzullo_max_failstop(std::size_t n);
+// Max f tolerable for arbitrary faults: floor((n - 1) / 3).
+std::size_t marzullo_max_arbitrary(std::size_t n);
+
+}  // namespace riv::appmodel

@@ -1,0 +1,18 @@
+// Internal invariant checking.
+//
+// RIV_ASSERT is active in all build types (experiments must not silently
+// run with violated invariants); it prints the failing expression and
+// aborts. Use for programmer errors, not for recoverable runtime errors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RIV_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "RIV_ASSERT failed at %s:%d: %s — %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,166 @@
+// Binary wire format primitives.
+//
+// Rivulet uses a custom compact serialization (the paper's prototype does
+// the same on top of Netty). Everything on the wire is little-endian and
+// fixed width. Network-overhead results (Fig 5) are measured from the byte
+// counts these encoders produce, so sizes here are part of the model:
+//   u8/u16/u32/u64  — exact width
+//   ids             — see types.hpp for widths
+//   TimePoint       — 8 bytes (microsecond ticks)
+//   bytes           — u32 length prefix + payload
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace riv {
+
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+
+  void process_id(ProcessId p) { u16(p.value); }
+  void sensor_id(SensorId s) { u16(s.value); }
+  void actuator_id(ActuatorId a) { u16(a.value); }
+  void app_id(AppId a) { u16(a.value); }
+  void event_id(EventId e) {
+    sensor_id(e.sensor);
+    u32(e.seq);
+  }
+  void command_id(CommandId c) {
+    process_id(c.origin);
+    u32(c.seq);
+  }
+  void time_point(TimePoint t) { i64(t.us); }
+  void duration(Duration d) { i64(d.us); }
+
+  void bytes(const std::vector<std::byte>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+  }
+
+  // Reserve `n` opaque payload bytes without materializing content. Large
+  // simulated events (e.g. 20 KB camera frames) use this: the bytes count
+  // toward the frame size but carry no information.
+  void opaque(std::size_t n) { buf_.resize(buf_.size() + n); }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::byte>& data() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+// Bounds-checked reader over an encoded buffer. Any out-of-bounds read sets
+// the error flag and subsequent reads return zero values; callers check
+// ok() once after decoding a whole message (torn frames cannot occur on the
+// reliable transport, so failure here is a programming error and asserts in
+// message-level decoders).
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::vector<std::byte>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return static_cast<std::uint8_t>(buf_[pos_++]);
+  }
+  std::uint16_t u16() {
+    std::uint16_t lo = u8(), hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t lo = u16(), hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    std::uint64_t lo = u32(), hi = u32();
+    return lo | (hi << 32);
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+
+  ProcessId process_id() { return {u16()}; }
+  SensorId sensor_id() { return {u16()}; }
+  ActuatorId actuator_id() { return {u16()}; }
+  AppId app_id() { return {u16()}; }
+  EventId event_id() {
+    EventId e;
+    e.sensor = sensor_id();
+    e.seq = u32();
+    return e;
+  }
+  CommandId command_id() {
+    CommandId c;
+    c.origin = process_id();
+    c.seq = u32();
+    return c;
+  }
+  TimePoint time_point() { return {i64()}; }
+  Duration duration() { return {i64()}; }
+
+  std::vector<std::byte> bytes() {
+    std::uint32_t n = u32();
+    if (!ensure(n)) return {};
+    std::vector<std::byte> out(buf_.begin() + static_cast<long>(pos_),
+                               buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    std::uint32_t n = u32();
+    if (!ensure(n)) return {};
+    std::string out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      out.push_back(static_cast<char>(buf_[pos_ + i]));
+    pos_ += n;
+    return out;
+  }
+  void skip_opaque(std::size_t n) {
+    if (ensure(n)) pos_ += n;
+  }
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace riv

@@ -1,0 +1,21 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace riv {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  double t = clock_ != nullptr ? clock_->now().seconds() : 0.0;
+  std::fprintf(stderr, "[%10.6f] %-5s %-12s %s\n", t,
+               kNames[static_cast<int>(level)], component.c_str(),
+               message.c_str());
+}
+
+}  // namespace riv

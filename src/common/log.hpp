@@ -1,0 +1,51 @@
+// Minimal leveled logger stamped with simulated time.
+//
+// Logging is off by default (experiments produce a lot of events); tests
+// and debugging sessions enable it per level. The logger is a process-wide
+// singleton; the active Clock is registered by the simulation so messages
+// carry virtual timestamps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace riv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  void set_clock(const Clock* clock) { clock_ = clock; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kOff};
+  const Clock* clock_{nullptr};
+};
+
+}  // namespace riv
+
+#define RIV_LOG(level, component, expr)                                  \
+  do {                                                                   \
+    auto& riv_logger = ::riv::Logger::instance();                        \
+    if (riv_logger.enabled(level)) {                                     \
+      std::ostringstream riv_log_os;                                     \
+      riv_log_os << expr;                                                \
+      riv_logger.write(level, component, riv_log_os.str());              \
+    }                                                                    \
+  } while (0)
+
+#define RIV_DEBUG(component, expr) RIV_LOG(::riv::LogLevel::kDebug, component, expr)
+#define RIV_INFO(component, expr) RIV_LOG(::riv::LogLevel::kInfo, component, expr)
+#define RIV_WARN(component, expr) RIV_LOG(::riv::LogLevel::kWarn, component, expr)
+#define RIV_ERROR(component, expr) RIV_LOG(::riv::LogLevel::kError, component, expr)

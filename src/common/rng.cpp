@@ -1,0 +1,9 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace riv {
+
+double Rng::log_(double x) { return std::log(x); }
+
+}  // namespace riv

@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in an experiment derives from a single
+// user-supplied seed so that runs are reproducible bit-for-bit. We use
+// xoshiro256** (public-domain, Blackman & Vigna) seeded via SplitMix64,
+// which also serves to derive independent child streams ("fork") for
+// per-entity randomness without correlation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace riv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's unbiased bounded integer method (simple rejection variant).
+    std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponentially distributed duration with the given mean (for Poisson
+  // arrival processes). Returns a strictly positive value.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-18;
+    // -mean * ln(u); ln via std would pull in <cmath>; acceptable here.
+    return -mean * log_(u);
+  }
+
+  // Derive an independent child generator; `salt` distinguishes children.
+  Rng fork(std::uint64_t salt) {
+    return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double log_(double x);
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace riv

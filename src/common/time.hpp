@@ -1,0 +1,68 @@
+// Simulated time.
+//
+// All Rivulet code is written against these types rather than std::chrono
+// clocks so that the same protocol code runs identically under the
+// discrete-event simulator (deterministic virtual time) and could run under
+// a wall-clock implementation in a real deployment.
+//
+// Resolution is one microsecond; a signed 64-bit tick count covers ~292k
+// years of simulated time, far beyond any experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace riv {
+
+// A span of simulated time, in microseconds.
+struct Duration {
+  std::int64_t us{0};
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {us + o.us}; }
+  constexpr Duration operator-(Duration o) const { return {us - o.us}; }
+  constexpr Duration operator*(std::int64_t k) const { return {us * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {us / k}; }
+  constexpr Duration& operator+=(Duration o) {
+    us += o.us;
+    return *this;
+  }
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  constexpr double millis() const { return static_cast<double>(us) / 1e3; }
+};
+
+// An instant of simulated time (microseconds since simulation start).
+struct TimePoint {
+  std::int64_t us{0};
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return {us + d.us}; }
+  constexpr Duration operator-(TimePoint o) const { return {us - o.us}; }
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+};
+
+constexpr Duration microseconds(std::int64_t v) { return {v}; }
+constexpr Duration milliseconds(std::int64_t v) { return {v * 1000}; }
+constexpr Duration seconds(std::int64_t v) { return {v * 1'000'000}; }
+constexpr Duration seconds_f(double v) {
+  return {static_cast<std::int64_t>(v * 1e6)};
+}
+constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+constexpr Duration hours(std::int64_t v) { return minutes(v * 60); }
+constexpr Duration days(std::int64_t v) { return hours(v * 24); }
+
+inline std::string to_string(TimePoint t) {
+  return std::to_string(t.seconds()) + "s";
+}
+inline std::string to_string(Duration d) {
+  return std::to_string(d.millis()) + "ms";
+}
+
+// Read-only clock interface. Implemented by sim::Simulation.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+}  // namespace riv

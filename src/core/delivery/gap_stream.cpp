@@ -1,0 +1,105 @@
+#include "core/delivery/gap_stream.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace riv::core {
+
+GapStream::GapStream(StreamContext ctx, std::size_t dedup_window)
+    : ctx_(std::move(ctx)), dedup_window_(dedup_window) {}
+
+std::optional<ProcessId> GapStream::app_bearing() const {
+  return first_alive(ctx_.chain(), ctx_.view());
+}
+
+std::optional<ProcessId> GapStream::forwarder() const {
+  const std::set<ProcessId>& view = ctx_.view();
+  for (ProcessId p : ctx_.chain()) {
+    if (view.count(p) == 0) continue;
+    if (std::find(ctx_.in_range_processes.begin(),
+                  ctx_.in_range_processes.end(),
+                  p) != ctx_.in_range_processes.end())
+      return p;
+  }
+  return std::nullopt;
+}
+
+void GapStream::on_device_event(const devices::SensorEvent& e) {
+  ++ingested_;
+  std::optional<ProcessId> bearer = app_bearing();
+  if (bearer && *bearer == ctx_.self) {
+    deliver_dedup(e);
+    return;
+  }
+  if (forwarder() == ctx_.self && bearer) {
+    wire::EventPayload p;
+    p.app = ctx_.app;
+    p.sensor = e.id.sensor;
+    p.event = e;
+    ++forwards_;
+    ctx_.send(*bearer, net::MsgType::kGapForward,
+              wire::encode_event_payload(p));
+    return;
+  }
+  ++discarded_;
+}
+
+void GapStream::on_forward(ProcessId from, const wire::EventPayload& p) {
+  (void)from;
+  // Deliver if our logic node is active; if the sender's view was stale
+  // and we are a shadow, the event is simply dropped — Gap permits it.
+  deliver_dedup(p.event);
+}
+
+void GapStream::deliver_dedup(const devices::SensorEvent& e) {
+  if (recent_.count(e.id) != 0) return;
+  recent_.insert(e.id);
+  recent_order_.push_back(e.id);
+  while (recent_order_.size() > dedup_window_) {
+    recent_.erase(recent_order_.front());
+    recent_order_.pop_front();
+  }
+  note_epoch(e);
+  ctx_.deliver(e);
+}
+
+// --- polling -------------------------------------------------------------
+
+void GapStream::note_epoch(const devices::SensorEvent& e) {
+  if (!ctx_.edge.polling.poll_based()) return;
+  epochs_seen_.insert(e.epoch);
+  while (epochs_seen_.size() > 1024) epochs_seen_.erase(epochs_seen_.begin());
+}
+
+std::uint32_t GapStream::current_epoch() const {
+  return static_cast<std::uint32_t>(ctx_.timers->now().us /
+                                    ctx_.edge.polling.epoch.us);
+}
+
+void GapStream::start() {
+  if (!ctx_.edge.polling.poll_based()) return;
+  first_epoch_ = current_epoch() + 1;
+  schedule_epoch(first_epoch_);
+}
+
+void GapStream::schedule_epoch(std::uint32_t epoch) {
+  const Duration e = ctx_.edge.polling.epoch;
+  const TimePoint boundary{static_cast<std::int64_t>(epoch) * e.us};
+  ctx_.timers->schedule_at(boundary, [this, epoch] {
+    if (forwarder() == ctx_.self) {
+      ++polls_issued_;
+      ctx_.poll(epoch);
+    }
+    // The app-bearing process reports a staleness violation when the
+    // previous epoch produced nothing (Gap may legitimately have gaps).
+    if (epoch > first_epoch_ && ctx_.logic_active_here() &&
+        epochs_seen_.count(epoch - 1) == 0) {
+      ++staleness_reports_;
+      ctx_.staleness(epoch - 1);
+    }
+    schedule_epoch(epoch + 1);
+  });
+}
+
+}  // namespace riv::core

@@ -1,0 +1,56 @@
+// Shared environment handed by the runtime to per-stream delivery state
+// machines (GaplessStream / GapStream).
+//
+// The hooks isolate the protocols from the runtime: a stream never touches
+// the transport, membership, logic instance, or device bus directly, which
+// keeps the protocol classes independently testable.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "appmodel/graph.hpp"
+#include "core/event_log.hpp"
+#include "devices/event.hpp"
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace riv::core {
+
+struct StreamContext {
+  ProcessId self{};
+  AppId app{};
+  appmodel::SensorEdge edge{};
+  bool in_range{false};  // does this process host an *active* sensor node?
+
+  // All processes running the app, and the static subset with active
+  // sensor nodes for this stream (the home's topology).
+  std::vector<ProcessId> all_processes;
+  std::vector<ProcessId> in_range_processes;
+
+  // Live queries answered by the runtime.
+  std::function<const std::set<ProcessId>&()> view;
+  std::function<std::vector<ProcessId>()> chain;  // app placement order
+  std::function<bool()> logic_active_here;
+
+  // Actions performed by the runtime.
+  std::function<void(const devices::SensorEvent&)> deliver;  // to local logic
+  std::function<void(ProcessId, net::MsgType, std::vector<std::byte>)> send;
+  std::function<void(std::uint32_t epoch)> staleness;  // epoch had no event
+  std::function<void(std::uint32_t epoch)> poll;       // issue a device poll
+
+  sim::ProcessTimers* timers{nullptr};
+  EventLog* log{nullptr};  // Gapless only
+};
+
+// First process in `order` that is alive per `view`; nullopt if none.
+inline std::optional<ProcessId> first_alive(
+    const std::vector<ProcessId>& order, const std::set<ProcessId>& view) {
+  for (ProcessId p : order) {
+    if (view.count(p) != 0) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace riv::core

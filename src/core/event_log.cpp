@@ -1,0 +1,220 @@
+#include "core/event_log.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/codec.hpp"
+
+namespace riv::core {
+namespace {
+
+void write_pid_set(BinaryWriter& w, const std::set<ProcessId>& s) {
+  w.u8(static_cast<std::uint8_t>(s.size()));
+  for (ProcessId p : s) w.process_id(p);
+}
+
+std::set<ProcessId> read_pid_set(BinaryReader& r) {
+  std::set<ProcessId> out;
+  std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) out.insert(r.process_id());
+  return out;
+}
+
+}  // namespace
+
+EventLog::EventLog(AppId app, sim::StableStore* store, std::size_t cap)
+    : app_(app), store_(store), cap_(cap) {}
+
+std::string EventLog::event_key(EventId id) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "app%u/ev/%u/%010u", app_.value,
+                id.sensor.value, id.seq);
+  return buf;
+}
+
+std::string EventLog::hw_key(SensorId sensor) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "app%u/hw/%u", app_.value, sensor.value);
+  return buf;
+}
+
+bool EventLog::seen(EventId id) const {
+  auto sit = streams_.find(id.sensor);
+  if (sit == streams_.end()) return false;
+  return sit->second.count(id.seq) != 0;
+}
+
+bool EventLog::append(const devices::SensorEvent& e, std::set<ProcessId> s,
+                      std::set<ProcessId> v) {
+  auto& stream = streams_[e.id.sensor];
+  auto [it, inserted] =
+      stream.emplace(e.id.seq, StoredEvent{e, std::move(s), std::move(v)});
+  if (!inserted) return false;
+  persist(it->second);
+  evict(e.id.sensor);
+  return true;
+}
+
+void EventLog::merge_sets(EventId id, const std::set<ProcessId>& s,
+                          const std::set<ProcessId>& v) {
+  auto sit = streams_.find(id.sensor);
+  if (sit == streams_.end()) return;
+  auto it = sit->second.find(id.seq);
+  if (it == sit->second.end()) return;
+  it->second.seen.insert(s.begin(), s.end());
+  it->second.need.insert(v.begin(), v.end());
+  persist(it->second);
+}
+
+const StoredEvent* EventLog::find(EventId id) const {
+  auto sit = streams_.find(id.sensor);
+  if (sit == streams_.end()) return nullptr;
+  auto it = sit->second.find(id.seq);
+  return it == sit->second.end() ? nullptr : &it->second;
+}
+
+TimePoint EventLog::high_water(SensorId sensor) const {
+  TimePoint hw{};
+  auto sit = streams_.find(sensor);
+  if (sit == streams_.end()) return hw;
+  for (const auto& [seq, se] : sit->second)
+    hw = std::max(hw, se.event.emitted_at);
+  return hw;
+}
+
+std::uint32_t EventLog::first_retained(SensorId sensor) const {
+  auto it = first_retained_.find(sensor);
+  return it == first_retained_.end() ? 1 : it->second;
+}
+
+TimePoint EventLog::prefix_high_water(SensorId sensor) const {
+  auto sit = streams_.find(sensor);
+  if (sit == streams_.end() || sit->second.empty()) return TimePoint{};
+  TimePoint hw{};
+  // The prefix must start at the first sequence number this log is still
+  // responsible for; a missing head is a hole like any other.
+  std::uint32_t expected = first_retained(sensor);
+  for (const auto& [seq, se] : sit->second) {
+    if (seq != expected) break;  // first hole
+    hw = std::max(hw, se.event.emitted_at);
+    ++expected;
+  }
+  return hw;
+}
+
+std::vector<const StoredEvent*> EventLog::events_after(SensorId sensor,
+                                                       TimePoint after) const {
+  std::vector<const StoredEvent*> out;
+  auto sit = streams_.find(sensor);
+  if (sit == streams_.end()) return out;
+  for (const auto& [seq, se] : sit->second) {
+    if (se.event.emitted_at > after) out.push_back(&se);
+  }
+  std::sort(out.begin(), out.end(), [](const StoredEvent* a,
+                                       const StoredEvent* b) {
+    if (a->event.emitted_at != b->event.emitted_at)
+      return a->event.emitted_at < b->event.emitted_at;
+    return a->event.id.seq < b->event.id.seq;
+  });
+  return out;
+}
+
+TimePoint EventLog::processed_watermark(SensorId sensor) const {
+  auto it = processed_hw_.find(sensor);
+  return it == processed_hw_.end() ? TimePoint{} : it->second;
+}
+
+void EventLog::advance_processed_watermark(SensorId sensor, TimePoint t) {
+  TimePoint& hw = processed_hw_[sensor];
+  if (t <= hw) return;
+  hw = t;
+  if (store_ != nullptr) {
+    BinaryWriter w;
+    w.time_point(t);
+    store_->put(hw_key(sensor), w.take());
+  }
+}
+
+std::size_t EventLog::size(SensorId sensor) const {
+  auto sit = streams_.find(sensor);
+  return sit == streams_.end() ? 0 : sit->second.size();
+}
+
+std::vector<SensorId> EventLog::sensors() const {
+  std::vector<SensorId> out;
+  out.reserve(streams_.size());
+  for (const auto& [sensor, stream] : streams_) out.push_back(sensor);
+  return out;
+}
+
+void EventLog::persist(const StoredEvent& se) {
+  if (store_ == nullptr) return;
+  BinaryWriter w;
+  devices::encode(w, se.event);
+  write_pid_set(w, se.seen);
+  write_pid_set(w, se.need);
+  store_->put(event_key(se.event.id), w.take());
+}
+
+std::string EventLog::retained_key(SensorId sensor) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "app%u/fr/%u", app_.value, sensor.value);
+  return buf;
+}
+
+void EventLog::evict(SensorId sensor) {
+  auto& stream = streams_[sensor];
+  bool evicted = false;
+  while (stream.size() > cap_) {
+    std::uint32_t seq = stream.begin()->first;
+    if (store_ != nullptr)
+      store_->erase(event_key(stream.begin()->second.event.id));
+    stream.erase(stream.begin());
+    std::uint32_t& fr = first_retained_[sensor];
+    fr = std::max(fr, seq + 1);
+    evicted = true;
+  }
+  if (evicted && store_ != nullptr) {
+    BinaryWriter w;
+    w.u32(first_retained_[sensor]);
+    store_->put(retained_key(sensor), w.take());
+  }
+}
+
+void EventLog::recover() {
+  if (store_ == nullptr) return;
+  streams_.clear();
+  processed_hw_.clear();
+  first_retained_.clear();
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "app%u/ev/", app_.value);
+  for (const std::string& key : store_->keys_with_prefix(prefix)) {
+    auto raw = store_->get(key);
+    RIV_ASSERT(raw.has_value(), "key listed but missing");
+    BinaryReader r(*raw);
+    StoredEvent se;
+    se.event = devices::decode_event(r);
+    se.seen = read_pid_set(r);
+    se.need = read_pid_set(r);
+    RIV_ASSERT(r.ok(), "corrupt stored event");
+    streams_[se.event.id.sensor].emplace(se.event.id.seq, std::move(se));
+  }
+  std::snprintf(prefix, sizeof(prefix), "app%u/hw/", app_.value);
+  for (const std::string& key : store_->keys_with_prefix(prefix)) {
+    auto raw = store_->get(key);
+    BinaryReader r(*raw);
+    SensorId sensor{
+        static_cast<std::uint16_t>(std::stoul(key.substr(key.rfind('/') + 1)))};
+    processed_hw_[sensor] = r.time_point();
+  }
+  std::snprintf(prefix, sizeof(prefix), "app%u/fr/", app_.value);
+  for (const std::string& key : store_->keys_with_prefix(prefix)) {
+    auto raw = store_->get(key);
+    BinaryReader r(*raw);
+    SensorId sensor{
+        static_cast<std::uint16_t>(std::stoul(key.substr(key.rfind('/') + 1)))};
+    first_retained_[sensor] = r.u32();
+  }
+}
+
+}  // namespace riv::core

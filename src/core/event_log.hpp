@@ -1,0 +1,100 @@
+// Per-application replicated event log (Gapless delivery state).
+//
+// Each process keeps, per Gapless stream, every event it has seen together
+// with the protocol's S (seen) and V (must-see) sets, so that:
+//   * dedup is exact (an event is delivered to the local logic node at
+//     most once per process),
+//   * a new ring successor can be synchronized Bayou-style by high-water
+//     timestamp (§4.1), re-sending exactly the missing suffix,
+//   * a newly promoted logic node can replay the backlog past the gossiped
+//     processed watermark (§5, Fig 7's post-failover spike).
+//
+// Entries are written through to the process's StableStore so they survive
+// crash/recover (§3.1's crash-recovery model).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devices/event.hpp"
+#include "sim/stable_store.hpp"
+
+namespace riv::core {
+
+struct StoredEvent {
+  devices::SensorEvent event;
+  std::set<ProcessId> seen;     // S
+  std::set<ProcessId> need;     // V
+};
+
+class EventLog {
+ public:
+  // `store` may be null (volatile log — used by tests); `cap` bounds the
+  // number of retained events per stream.
+  EventLog(AppId app, sim::StableStore* store, std::size_t cap);
+
+  bool seen(EventId id) const;
+
+  // Insert if new; returns false (and leaves the log unchanged) for
+  // duplicates.
+  bool append(const devices::SensorEvent& e, std::set<ProcessId> s,
+              std::set<ProcessId> v);
+
+  // Merge updated S/V knowledge about an already-stored event.
+  void merge_sets(EventId id, const std::set<ProcessId>& s,
+                  const std::set<ProcessId>& v);
+
+  const StoredEvent* find(EventId id) const;
+
+  // Largest emitted_at among stored events of `sensor` (zero when empty).
+  TimePoint high_water(SensorId sensor) const;
+
+  // Bayou-style sync mark: the timestamp of the last event in the
+  // *contiguous* sequence prefix held for `sensor`. Crash-recovery can
+  // punch holes in the middle of a log (events missed while down, newer
+  // events ingested right after recovery); reporting the prefix mark makes
+  // the predecessor re-send everything from the first hole onward, so
+  // anti-entropy actually fills holes rather than hiding them behind a
+  // fresh maximum timestamp.
+  TimePoint prefix_high_water(SensorId sensor) const;
+
+  // Events of `sensor` with emitted_at strictly greater than `after`, in
+  // emission order.
+  std::vector<const StoredEvent*> events_after(SensorId sensor,
+                                               TimePoint after) const;
+
+  // --- processed watermark (gossiped via keep-alives) -----------------
+  TimePoint processed_watermark(SensorId sensor) const;
+  void advance_processed_watermark(SensorId sensor, TimePoint t);
+
+  std::size_t size(SensorId sensor) const;
+  std::vector<SensorId> sensors() const;
+
+  // Rebuild in-memory state from stable storage (crash recovery).
+  void recover();
+
+ private:
+  std::string event_key(EventId id) const;
+  std::string hw_key(SensorId sensor) const;
+  std::string retained_key(SensorId sensor) const;
+  void persist(const StoredEvent& se);
+  void evict(SensorId sensor);
+  std::uint32_t first_retained(SensorId sensor) const;
+
+  AppId app_;
+  sim::StableStore* store_;
+  std::size_t cap_;
+  // Per sensor, ordered by sequence number (== emission order per sensor).
+  std::map<SensorId, std::map<std::uint32_t, StoredEvent>> streams_;
+  std::map<SensorId, TimePoint> processed_hw_;
+  // Lowest sequence this log is still expected to hold (raised only by
+  // capacity eviction). The contiguous prefix is measured from here, so a
+  // node that missed a stream's beginning reports prefix 0 and gets the
+  // full history re-sent, instead of hiding the gap.
+  std::map<SensorId, std::uint32_t> first_retained_;
+};
+
+}  // namespace riv::core

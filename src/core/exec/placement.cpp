@@ -1,0 +1,45 @@
+#include "core/exec/placement.hpp"
+
+#include <algorithm>
+
+namespace riv::core {
+
+std::vector<ProcessId> placement_chain(const appmodel::AppGraph& graph,
+                                       const devices::HomeBus& bus,
+                                       const std::vector<ProcessId>& all,
+                                       PlacementPolicy policy,
+                                       const std::map<ProcessId, int>& load) {
+  struct Ranked {
+    ProcessId p;
+    int active_devices;
+    int load;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(all.size());
+  for (ProcessId p : all) {
+    int count = 0;
+    for (SensorId s : graph.sensors()) {
+      if (bus.sensor_in_range(p, s)) ++count;
+    }
+    for (ActuatorId a : graph.actuators()) {
+      if (bus.actuator_in_range(p, a)) ++count;
+    }
+    auto it = load.find(p);
+    ranked.push_back({p, count, it == load.end() ? 0 : it->second});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [policy](const Ranked& a, const Ranked& b) {
+                     if (policy == PlacementPolicy::kLoadBalanced &&
+                         a.load != b.load)
+                       return a.load < b.load;
+                     if (a.active_devices != b.active_devices)
+                       return a.active_devices > b.active_devices;
+                     return a.p < b.p;
+                   });
+  std::vector<ProcessId> chain;
+  chain.reserve(ranked.size());
+  for (const Ranked& r : ranked) chain.push_back(r.p);
+  return chain;
+}
+
+}  // namespace riv::core

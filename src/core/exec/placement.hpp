@@ -1,0 +1,38 @@
+// Logic-node placement (§7).
+//
+// Rivulet deploys the active logic node on the process with the largest
+// number of active sensor and actuator nodes required by the app, which
+// minimizes forwarding delay; ties break on process id so every process
+// computes the same chain deterministically. The full ordering doubles as
+// the failover chain for the execution service (§5) and as the Gap
+// protocol's chain (§4.2).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "appmodel/graph.hpp"
+#include "devices/home_bus.hpp"
+
+namespace riv::core {
+
+enum class PlacementPolicy {
+  // §7: the process with the most active sensor/actuator nodes wins —
+  // minimizes forwarding delay but concentrates logic nodes.
+  kMaxActiveDevices,
+  // Extension (cf. Beam's utilization-aware partitioning): prefer lightly
+  // loaded processes, breaking ties by active-device count. Spreads apps
+  // so one crash disrupts fewer of them at once.
+  kLoadBalanced,
+};
+
+// `load` counts logic nodes already headed on each process (used by
+// kLoadBalanced; every process derives the same loads deterministically
+// from the shared deploy order).
+std::vector<ProcessId> placement_chain(
+    const appmodel::AppGraph& graph, const devices::HomeBus& bus,
+    const std::vector<ProcessId>& all,
+    PlacementPolicy policy = PlacementPolicy::kMaxActiveDevices,
+    const std::map<ProcessId, int>& load = {});
+
+}  // namespace riv::core

@@ -1,0 +1,708 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "core/exec/placement.hpp"
+#include "core/wire.hpp"
+
+namespace riv::core {
+namespace {
+
+// Next process after `self` in the sorted circular order of `view`.
+std::optional<ProcessId> ring_successor(ProcessId self,
+                                        const std::set<ProcessId>& view) {
+  if (view.size() <= 1) return std::nullopt;
+  auto it = view.upper_bound(self);
+  if (it == view.end()) it = view.begin();
+  if (*it == self) return std::nullopt;
+  return *it;
+}
+
+}  // namespace
+
+RivuletProcess::RivuletProcess(sim::Simulation& sim, net::SimNetwork& net,
+                               devices::HomeBus& bus, ProcessId self,
+                               std::vector<ProcessId> all, Config config,
+                               metrics::Registry& metrics)
+    : sim_(&sim),
+      net_(&net),
+      bus_(&bus),
+      self_(self),
+      all_(std::move(all)),
+      config_(config),
+      metrics_(&metrics) {
+  std::sort(all_.begin(), all_.end());
+}
+
+RivuletProcess::~RivuletProcess() {
+  if (up_) crash();
+}
+
+void RivuletProcess::deploy(
+    std::shared_ptr<const appmodel::AppGraph> graph) {
+  RIV_ASSERT(graph != nullptr, "null app graph");
+  graph->validate();
+  deployed_.push_back(std::move(graph));
+  if (up_) {
+    // Hot deploy: rebuild app state for the new graph only, counting the
+    // load the already-running apps impose.
+    const auto& g = deployed_.back();
+    std::map<ProcessId, int> load;
+    for (const auto& [id, existing] : apps_) {
+      if (!existing.chain.empty()) ++load[existing.chain.front()];
+    }
+    AppState& app = apps_[g->id];
+    app.graph = g;
+    build_app_state(app, load);
+    evaluate_role(g->id, app);
+  }
+}
+
+void RivuletProcess::start() {
+  RIV_ASSERT(!up_, "process already running");
+  up_ = true;
+  started_ = true;
+  net_->set_process_up(self_, true);
+  build_state();
+}
+
+void RivuletProcess::crash() {
+  if (!up_) return;
+  up_ = false;
+  net_->set_process_up(self_, false);
+  teardown_state();
+}
+
+void RivuletProcess::recover() {
+  RIV_ASSERT(started_, "recover() before first start()");
+  if (up_) return;
+  up_ = true;
+  net_->set_process_up(self_, true);
+  build_state();
+}
+
+void RivuletProcess::teardown_state() {
+  bus_->unsubscribe(self_);
+  net_->endpoint(self_).set_handler({});
+  // Logic instances and streams own no timers beyond timers_ /
+  // their LogicInstance-internal ones; destroying them cancels everything.
+  apps_.clear();
+  kv_.reset();
+  fd_.reset();
+  timers_.reset();
+}
+
+store::ReplicatedStore& RivuletProcess::kv() {
+  RIV_ASSERT(kv_ != nullptr, "kv() on a crashed process");
+  return *kv_;
+}
+
+void RivuletProcess::build_state() {
+  timers_ = std::make_unique<sim::ProcessTimers>(*sim_);
+
+  fd_ = std::make_unique<membership::FailureDetector>(
+      *timers_, net_->endpoint(self_), all_, config_.membership);
+  fd_->set_on_view_change([this](const std::set<ProcessId>&) {
+    on_view_change();
+  });
+  fd_->set_payload_provider([this] { return keepalive_payload(); });
+  fd_->set_payload_handler([this](ProcessId from, BinaryReader& r) {
+    on_keepalive_payload(from, r);
+  });
+
+  store::ReplicatedStore::Hooks kv_hooks;
+  kv_hooks.self = self_;
+  kv_hooks.send = [this](ProcessId dst, bool is_sync,
+                         std::vector<std::byte> payload) {
+    net_->endpoint(self_).send(
+        dst, is_sync ? net::MsgType::kStoreSync : net::MsgType::kStorePut,
+        std::move(payload));
+  };
+  kv_hooks.view = [this]() -> const std::set<ProcessId>& {
+    return fd_->view();
+  };
+  kv_hooks.timers = timers_.get();
+  kv_hooks.stable = &store_;
+  kv_hooks.sync_period = config_.sync_period;
+  kv_ = std::make_unique<store::ReplicatedStore>(std::move(kv_hooks));
+
+  apps_.clear();
+  // Chains are computed in deploy order with a running load count, so the
+  // kLoadBalanced policy spreads apps deterministically and every process
+  // derives identical chains.
+  std::map<ProcessId, int> load;
+  for (const auto& graph : deployed_) {
+    AppState& app = apps_[graph->id];
+    app.graph = graph;
+    build_app_state(app, load);
+    if (!app.chain.empty()) ++load[app.chain.front()];
+  }
+
+  net_->endpoint(self_).set_handler(
+      [this](const net::Message& msg) { on_message(msg); });
+  bus_->subscribe(self_, [this](const devices::SensorEvent& e) {
+    on_device_event(e);
+  });
+
+  fd_->start();
+  kv_->start();
+  for (auto& [id, app] : apps_) {
+    for (auto& [sensor, stream] : app.streams) {
+      if (stream.gapless) stream.gapless->start();
+      if (stream.gap) stream.gap->start();
+    }
+    evaluate_role(id, app);
+  }
+
+  // Initial sync plus periodic anti-entropy (see Config::sync_period).
+  sync_rings(/*force=*/true);
+  auto arm = std::make_shared<std::function<void()>>();
+  *arm = [this, arm] {
+    sync_rings(/*force=*/true);
+    retry_pending_commands();
+    timers_->schedule_after(config_.sync_period, *arm);
+  };
+  timers_->schedule_after(config_.sync_period, *arm);
+}
+
+void RivuletProcess::build_app_state(AppState& app,
+                                     const std::map<ProcessId, int>& load) {
+  const appmodel::AppGraph& graph = *app.graph;
+  auto it = config_.placement_override.find(graph.id);
+  app.chain = it != config_.placement_override.end()
+                  ? it->second
+                  : placement_chain(graph, *bus_, all_,
+                                    config_.placement_policy, load);
+
+  app.log = std::make_unique<EventLog>(graph.id, &store_,
+                                       config_.event_log_cap);
+  app.log->recover();
+  app.last_successor.reset();
+  app.commands_seen.clear();
+  app.pending_commands.clear();
+  app.delivered = 0;
+  app.logic.reset();
+
+  // One delivery stream per distinct sensor; if several edges reference
+  // the same sensor the strongest guarantee wins and the first poll-based
+  // policy applies.
+  app.streams.clear();
+  for (const appmodel::SensorEdge& edge : graph.sensor_edges) {
+    auto sit = app.streams.find(edge.sensor);
+    if (sit == app.streams.end()) {
+      app.streams.emplace(edge.sensor, make_stream(app, edge));
+    } else if (edge.guarantee == appmodel::Guarantee::kGapless &&
+               sit->second.edge.guarantee == appmodel::Guarantee::kGap) {
+      app.streams.erase(sit);
+      app.streams.emplace(edge.sensor, make_stream(app, edge));
+    }
+  }
+}
+
+RivuletProcess::StreamState RivuletProcess::make_stream(
+    AppState& app, const appmodel::SensorEdge& edge) {
+  const AppId app_id = app.graph->id;
+
+  StreamContext ctx;
+  ctx.self = self_;
+  ctx.app = app_id;
+  ctx.edge = edge;
+  ctx.in_range = bus_->sensor_in_range(self_, edge.sensor);
+  ctx.all_processes = all_;
+  std::vector<ProcessId> in_range;
+  for (ProcessId p : bus_->processes_in_range(edge.sensor)) {
+    if (std::find(all_.begin(), all_.end(), p) != all_.end())
+      in_range.push_back(p);
+  }
+  std::sort(in_range.begin(), in_range.end());
+  ctx.in_range_processes = std::move(in_range);
+
+  ctx.view = [this]() -> const std::set<ProcessId>& { return fd_->view(); };
+  ctx.chain = [&app] { return app.chain; };
+  ctx.logic_active_here = [&app] { return app.logic != nullptr; };
+  ctx.deliver = [this, app_id, &app](const devices::SensorEvent& e) {
+    if (app.logic) deliver_to_logic(app_id, app, e);
+  };
+  ctx.send = [this](ProcessId dst, net::MsgType type,
+                    std::vector<std::byte> payload) {
+    net_->endpoint(self_).send(dst, type, std::move(payload));
+  };
+  SensorId sensor = edge.sensor;
+  ctx.staleness = [this, app_id, &app, sensor](std::uint32_t epoch) {
+    metrics_->counter(metric_prefix(app_id) + ".staleness").add(1);
+    if (app.logic) app.logic->on_staleness_violation(sensor, epoch);
+  };
+  ctx.poll = [this, sensor](std::uint32_t epoch) {
+    metrics_->counter("polls.issued.s" + std::to_string(sensor.value)).add(1);
+    bus_->poll(self_, sensor, epoch);
+  };
+  ctx.timers = timers_.get();
+  ctx.log = app.log.get();
+
+  StreamState state;
+  state.edge = edge;
+  if (edge.guarantee == appmodel::Guarantee::kGapless) {
+    state.gapless = std::make_unique<GaplessStream>(std::move(ctx));
+  } else {
+    state.gap =
+        std::make_unique<GapStream>(std::move(ctx), config_.gap_dedup_window);
+  }
+  return state;
+}
+
+// --- device ingest -------------------------------------------------------
+
+void RivuletProcess::on_device_event(const devices::SensorEvent& e) {
+  metrics_
+      ->counter("ingest.p" + std::to_string(self_.value) + ".s" +
+                std::to_string(e.id.sensor.value))
+      .add(1);
+  for (auto& [id, app] : apps_) {
+    auto it = app.streams.find(e.id.sensor);
+    if (it == app.streams.end()) continue;
+    if (it->second.gapless)
+      it->second.gapless->on_device_event(e);
+    else
+      it->second.gap->on_device_event(e);
+  }
+}
+
+// --- message dispatch ----------------------------------------------------
+
+void RivuletProcess::on_message(const net::Message& msg) {
+  switch (msg.type) {
+    case net::MsgType::kKeepAlive:
+      fd_->on_keepalive(msg);
+      return;
+    case net::MsgType::kRingEvent: {
+      wire::RingPayload p = wire::decode_ring(msg.payload);
+      auto ait = apps_.find(p.app);
+      if (ait == apps_.end()) return;
+      auto sit = ait->second.streams.find(p.sensor);
+      if (sit == ait->second.streams.end() || !sit->second.gapless) return;
+      sit->second.gapless->on_ring(msg.src, p);
+      return;
+    }
+    case net::MsgType::kRbEvent: {
+      wire::EventPayload p = wire::decode_event_payload(msg.payload);
+      auto ait = apps_.find(p.app);
+      if (ait == apps_.end()) return;
+      auto sit = ait->second.streams.find(p.sensor);
+      if (sit == ait->second.streams.end() || !sit->second.gapless) return;
+      sit->second.gapless->on_rb(msg.src, p);
+      return;
+    }
+    case net::MsgType::kGapForward: {
+      wire::EventPayload p = wire::decode_event_payload(msg.payload);
+      auto ait = apps_.find(p.app);
+      if (ait == apps_.end()) return;
+      auto sit = ait->second.streams.find(p.sensor);
+      if (sit == ait->second.streams.end() || !sit->second.gap) return;
+      sit->second.gap->on_forward(msg.src, p);
+      return;
+    }
+    case net::MsgType::kSyncRequest:
+      handle_sync_request(msg);
+      return;
+    case net::MsgType::kSyncResponse:
+      handle_sync_response(msg);
+      return;
+    case net::MsgType::kCommand:
+      handle_command(msg);
+      return;
+    case net::MsgType::kCommandAck: {
+      wire::CommandAck ack = wire::decode_command_ack(msg.payload);
+      auto ait = apps_.find(ack.app);
+      if (ait != apps_.end()) ait->second.pending_commands.erase(ack.command);
+      return;
+    }
+    case net::MsgType::kStorePut:
+      kv_->on_update(msg.payload);
+      return;
+    case net::MsgType::kStoreSync:
+      kv_->on_sync(msg.payload);
+      return;
+    case net::MsgType::kPromote:
+      handle_role_change(msg, /*promote=*/true);
+      return;
+    case net::MsgType::kDemote:
+      handle_role_change(msg, /*promote=*/false);
+      return;
+  }
+}
+
+// --- membership reactions --------------------------------------------------
+
+void RivuletProcess::on_view_change() {
+  for (auto& [id, app] : apps_) evaluate_role(id, app);
+  sync_rings(/*force=*/false);
+}
+
+void RivuletProcess::sync_rings(bool force) {
+  const std::set<ProcessId>& view = fd_->view();
+  for (auto& [id, app] : apps_) {
+    bool any_gapless = false;
+    for (const auto& [sensor, stream] : app.streams)
+      any_gapless |= stream.gapless != nullptr;
+    if (!any_gapless) continue;
+    std::optional<ProcessId> succ = ring_successor(self_, view);
+    bool changed = succ != app.last_successor;
+    app.last_successor = succ;
+    if (succ && (changed || force)) {
+      net_->endpoint(self_).send(*succ, net::MsgType::kSyncRequest,
+                                 wire::encode_sync_request(id));
+    }
+  }
+}
+
+void RivuletProcess::handle_sync_request(const net::Message& msg) {
+  AppId id = wire::decode_sync_request(msg.payload);
+  auto ait = apps_.find(id);
+  if (ait == apps_.end()) return;
+  wire::SyncResponse resp;
+  resp.app = id;
+  for (const auto& [sensor, stream] : ait->second.streams) {
+    if (stream.gapless)
+      resp.high_waters.emplace_back(
+          sensor, ait->second.log->prefix_high_water(sensor));
+  }
+  net_->endpoint(self_).send(msg.src, net::MsgType::kSyncResponse,
+                             wire::encode(resp));
+}
+
+void RivuletProcess::handle_sync_response(const net::Message& msg) {
+  wire::SyncResponse resp = wire::decode_sync_response(msg.payload);
+  auto ait = apps_.find(resp.app);
+  if (ait == apps_.end()) return;
+  for (const auto& [sensor, hw] : resp.high_waters) {
+    auto sit = ait->second.streams.find(sensor);
+    if (sit != ait->second.streams.end() && sit->second.gapless)
+      sit->second.gapless->sync_successor(msg.src, hw);
+  }
+}
+
+// --- execution service -----------------------------------------------------
+
+std::size_t RivuletProcess::rank_of(const AppState& app, ProcessId p) const {
+  auto it = std::find(app.chain.begin(), app.chain.end(), p);
+  return it == app.chain.end()
+             ? app.chain.size()
+             : static_cast<std::size_t>(it - app.chain.begin());
+}
+
+void RivuletProcess::evaluate_role(AppId id, AppState& app) {
+  std::optional<ProcessId> cand = first_alive(app.chain, fd_->view());
+  if (!cand) return;  // we are not even in the chain
+  if (*cand == self_ && app.logic == nullptr) {
+    promote(id, app);
+  } else if (*cand != self_ && app.logic != nullptr) {
+    demote(id, app);
+  }
+}
+
+void RivuletProcess::promote(AppId id, AppState& app) {
+  RIV_INFO("exec", to_string(self_) << " promotes logic for app "
+                                    << app.graph->name);
+  appmodel::LogicInstance::Callbacks cb;
+  cb.self = self_;
+  cb.next_command_id = [this] {
+    return CommandId{self_, next_cmd_seq_++};
+  };
+  cb.kv_put = [this](const std::string& key, double value) {
+    kv_->put(key, value);
+  };
+  cb.kv_get = [this](const std::string& key) { return kv_->get(key); };
+  cb.command_sink = [this, id, &app](const appmodel::ActuatorEdge& edge,
+                                     const devices::Command& cmd) {
+    route_command(id, app, edge, cmd);
+  };
+  app.logic = std::make_unique<appmodel::LogicInstance>(*app.graph, *sim_,
+                                                        std::move(cb));
+  app.logic->start();
+  metrics_->counter(metric_prefix(id) + ".promotions").add(1);
+  replay_backlog(id, app);
+  for (ProcessId p : fd_->view()) {
+    if (p != self_)
+      net_->endpoint(self_).send(p, net::MsgType::kPromote,
+                                 wire::encode_role_change(id));
+  }
+}
+
+void RivuletProcess::demote(AppId id, AppState& app) {
+  RIV_INFO("exec", to_string(self_) << " demotes logic for app "
+                                    << app.graph->name);
+  app.logic.reset();
+  metrics_->counter(metric_prefix(id) + ".demotions").add(1);
+  for (ProcessId p : fd_->view()) {
+    if (p != self_)
+      net_->endpoint(self_).send(p, net::MsgType::kDemote,
+                                 wire::encode_role_change(id));
+  }
+}
+
+void RivuletProcess::replay_backlog(AppId id, AppState& app) {
+  // Deliver every Gapless event past the gossiped processed watermark —
+  // the "spike" of Fig 7. Gap streams replay nothing by design.
+  for (auto& [sensor, stream] : app.streams) {
+    if (!stream.gapless) continue;
+    TimePoint hw = app.log->processed_watermark(sensor);
+    for (const StoredEvent* se : app.log->events_after(sensor, hw))
+      deliver_to_logic(id, app, se->event);
+  }
+}
+
+void RivuletProcess::handle_role_change(const net::Message& msg,
+                                        bool promote_msg) {
+  AppId id = wire::decode_role_change(msg.payload);
+  auto ait = apps_.find(id);
+  if (ait == apps_.end()) return;
+  AppState& app = ait->second;
+  if (promote_msg) {
+    if (app.logic != nullptr) {
+      if (rank_of(app, msg.src) < rank_of(app, self_)) {
+        // A higher-priority process asserted itself: step down (§5).
+        demote(id, app);
+      } else {
+        // We outrank the sender; re-assert so it steps down (bully).
+        net_->endpoint(self_).send(msg.src, net::MsgType::kPromote,
+                                   wire::encode_role_change(id));
+      }
+    }
+  } else {
+    evaluate_role(id, app);
+  }
+}
+
+// --- delivery to logic -------------------------------------------------------
+
+void RivuletProcess::deliver_to_logic(AppId id, AppState& app,
+                                      const devices::SensorEvent& e) {
+  RIV_ASSERT(app.logic != nullptr, "delivering to a shadow logic node");
+  ++app.delivered;
+  const std::string prefix = metric_prefix(id);
+  metrics::Counter& delivered = metrics_->counter(prefix + ".delivered");
+  delivered.add(1);
+  metrics_->latency(prefix + ".delay").record(sim_->now() - e.emitted_at);
+  metrics_->series(prefix + ".delivered_ts")
+      .append(sim_->now(), static_cast<double>(delivered.value()));
+
+  auto sit = app.streams.find(e.id.sensor);
+  if (sit != app.streams.end() && sit->second.gapless)
+    app.log->advance_processed_watermark(e.id.sensor, e.emitted_at);
+
+  app.logic->on_sensor_event(e);
+}
+
+// --- actuation ---------------------------------------------------------------
+
+std::vector<ProcessId> RivuletProcess::actuator_targets(
+    ActuatorId actuator) const {
+  std::vector<ProcessId> targets;
+  for (ProcessId p : bus_->processes_in_range(actuator)) {
+    if (std::find(all_.begin(), all_.end(), p) != all_.end() &&
+        fd_->alive(p))
+      targets.push_back(p);
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+void RivuletProcess::route_command(AppId id, AppState& app,
+                                   const appmodel::ActuatorEdge& edge,
+                                   const devices::Command& cmd) {
+  std::vector<ProcessId> targets = actuator_targets(edge.actuator);
+  if (targets.empty()) {
+    metrics_->counter(metric_prefix(id) + ".commands_dropped").add(1);
+    return;
+  }
+
+  const bool local = std::find(targets.begin(), targets.end(), self_) !=
+                     targets.end();
+  if (local) {
+    // We host an active actuator node: actuate directly.
+    submit_command_locally(app, cmd);
+    return;
+  }
+
+  wire::CommandPayload payload;
+  payload.app = id;
+  payload.guarantee = static_cast<std::uint8_t>(edge.guarantee);
+  payload.command = cmd;
+  std::vector<std::byte> bytes = wire::encode(payload);
+  if (edge.guarantee == appmodel::Guarantee::kGapless) {
+    // Replicate to every active actuator node and keep the command
+    // pending until one of them acknowledges; the device's idempotence or
+    // Test&Set support absorbs duplicates (§5).
+    app.pending_commands[cmd.id] =
+        PendingCommand{payload, sim_->now(), sim_->now()};
+    for (ProcessId p : targets)
+      net_->endpoint(self_).send(p, net::MsgType::kCommand, bytes);
+  } else {
+    net_->endpoint(self_).send(targets.front(), net::MsgType::kCommand,
+                               std::move(bytes));
+  }
+}
+
+void RivuletProcess::retry_pending_commands() {
+  // Commands older than one detection window that nobody acknowledged are
+  // re-sent to the currently alive actuator nodes; stale ones expire.
+  const Duration retry_after = config_.membership.timeout;
+  const Duration expire_after = retry_after * 10;
+  for (auto& [id, app] : apps_) {
+    for (auto it = app.pending_commands.begin();
+         it != app.pending_commands.end();) {
+      PendingCommand& pending = it->second;
+      if (sim_->now() - pending.first_sent > expire_after) {
+        metrics_->counter(metric_prefix(id) + ".commands_expired").add(1);
+        it = app.pending_commands.erase(it);
+        continue;
+      }
+      if (sim_->now() - pending.last_sent >= retry_after) {
+        pending.last_sent = sim_->now();
+        std::vector<ProcessId> targets =
+            actuator_targets(pending.payload.command.actuator);
+        std::vector<std::byte> bytes = wire::encode(pending.payload);
+        bool local = false;
+        for (ProcessId p : targets) {
+          if (p == self_) {
+            submit_command_locally(app, pending.payload.command);
+            local = true;
+          } else {
+            net_->endpoint(self_).send(p, net::MsgType::kCommand, bytes);
+          }
+        }
+        metrics_->counter(metric_prefix(id) + ".commands_retried").add(1);
+        if (local) {  // local submission is its own acknowledgement
+          it = app.pending_commands.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+  }
+}
+
+void RivuletProcess::submit_command_locally(AppState& app,
+                                            const devices::Command& cmd) {
+  if (!app.commands_seen.insert(cmd.id).second) return;
+  bus_->actuate(self_, cmd);
+}
+
+void RivuletProcess::handle_command(const net::Message& msg) {
+  wire::CommandPayload p = wire::decode_command_payload(msg.payload);
+  auto ait = apps_.find(p.app);
+  if (ait == apps_.end()) return;
+  if (!bus_->actuator_in_range(self_, p.command.actuator)) return;
+  submit_command_locally(ait->second, p.command);
+  if (p.guarantee ==
+      static_cast<std::uint8_t>(appmodel::Guarantee::kGapless)) {
+    wire::CommandAck ack;
+    ack.app = p.app;
+    ack.command = p.command.id;
+    net_->endpoint(self_).send(msg.src, net::MsgType::kCommandAck,
+                               wire::encode(ack));
+  }
+}
+
+// --- watermark gossip ---------------------------------------------------------
+
+std::vector<std::byte> RivuletProcess::keepalive_payload() {
+  BinaryWriter w;
+  std::uint8_t count = 0;
+  for (const auto& [id, app] : apps_) {
+    if (app.logic != nullptr) ++count;
+  }
+  w.u8(count);
+  for (const auto& [id, app] : apps_) {
+    if (app.logic == nullptr) continue;
+    w.app_id(id);
+    std::uint8_t streams = 0;
+    for (const auto& [sensor, stream] : app.streams)
+      if (stream.gapless) ++streams;
+    w.u8(streams);
+    for (const auto& [sensor, stream] : app.streams) {
+      if (!stream.gapless) continue;
+      w.sensor_id(sensor);
+      w.time_point(app.log->processed_watermark(sensor));
+    }
+  }
+  return w.take();
+}
+
+void RivuletProcess::on_keepalive_payload(ProcessId from, BinaryReader& r) {
+  (void)from;
+  std::uint8_t apps = r.u8();
+  for (std::uint8_t i = 0; i < apps; ++i) {
+    AppId id = r.app_id();
+    std::uint8_t streams = r.u8();
+    auto ait = apps_.find(id);
+    for (std::uint8_t j = 0; j < streams; ++j) {
+      SensorId sensor = r.sensor_id();
+      TimePoint hw = r.time_point();
+      if (ait != apps_.end())
+        ait->second.log->advance_processed_watermark(sensor, hw);
+    }
+  }
+}
+
+// --- introspection --------------------------------------------------------------
+
+bool RivuletProcess::logic_active(AppId app) const {
+  auto it = apps_.find(app);
+  return it != apps_.end() && it->second.logic != nullptr;
+}
+
+const appmodel::LogicInstance* RivuletProcess::logic(AppId app) const {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : it->second.logic.get();
+}
+
+appmodel::LogicInstance* RivuletProcess::logic(AppId app) {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : it->second.logic.get();
+}
+
+std::uint64_t RivuletProcess::delivered(AppId app) const {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? 0 : it->second.delivered;
+}
+
+const std::set<ProcessId>& RivuletProcess::view() const {
+  RIV_ASSERT(fd_ != nullptr, "view() on a crashed process");
+  return fd_->view();
+}
+
+std::vector<ProcessId> RivuletProcess::chain(AppId app) const {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? std::vector<ProcessId>{} : it->second.chain;
+}
+
+const GaplessStream* RivuletProcess::gapless_stream(AppId app,
+                                                    SensorId sensor) const {
+  auto ait = apps_.find(app);
+  if (ait == apps_.end()) return nullptr;
+  auto sit = ait->second.streams.find(sensor);
+  return sit == ait->second.streams.end() ? nullptr
+                                          : sit->second.gapless.get();
+}
+
+const GapStream* RivuletProcess::gap_stream(AppId app,
+                                            SensorId sensor) const {
+  auto ait = apps_.find(app);
+  if (ait == apps_.end()) return nullptr;
+  auto sit = ait->second.streams.find(sensor);
+  return sit == ait->second.streams.end() ? nullptr : sit->second.gap.get();
+}
+
+EventLog* RivuletProcess::event_log(AppId app) {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : it->second.log.get();
+}
+
+std::string RivuletProcess::metric_prefix(AppId id) const {
+  return "app" + std::to_string(id.value);
+}
+
+}  // namespace riv::core

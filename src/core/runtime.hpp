@@ -1,0 +1,165 @@
+// RivuletProcess: one instance of the Rivulet runtime (§3.3).
+//
+// Runs on each host (TV, fridge, hub, ...) and wires together:
+//   * membership (keep-alive failure detector, local view),
+//   * the delivery service (one GaplessStream or GapStream per sensor the
+//     deployed apps use),
+//   * the execution service (bully-variant promotion/demotion of logic
+//     nodes along the placement chain, §5),
+//   * actuation-command routing to processes with active actuator nodes,
+//   * processed-watermark gossip piggybacked on keep-alives (bounds the
+//     backlog a newly promoted logic node replays).
+//
+// Crash/recovery (§3.1): crash() halts everything — timers, message
+// handling, device subscription. recover() rebuilds volatile state from
+// the process's StableStore (event logs, watermarks). Deployed app graphs
+// are installed software and survive crashes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "appmodel/logic.hpp"
+#include "core/config.hpp"
+#include "core/delivery/gap_stream.hpp"
+#include "core/delivery/gapless_stream.hpp"
+#include "devices/home_bus.hpp"
+#include "membership/failure_detector.hpp"
+#include "metrics/metrics.hpp"
+#include "net/sim_network.hpp"
+#include "sim/stable_store.hpp"
+#include "store/replicated_store.hpp"
+
+namespace riv::core {
+
+class RivuletProcess {
+ public:
+  RivuletProcess(sim::Simulation& sim, net::SimNetwork& net,
+                 devices::HomeBus& bus, ProcessId self,
+                 std::vector<ProcessId> all, Config config,
+                 metrics::Registry& metrics);
+  ~RivuletProcess();
+
+  RivuletProcess(const RivuletProcess&) = delete;
+  RivuletProcess& operator=(const RivuletProcess&) = delete;
+
+  // Install an application (before start(), or at runtime).
+  void deploy(std::shared_ptr<const appmodel::AppGraph> graph);
+
+  void start();
+  void crash();
+  void recover();
+  bool up() const { return up_; }
+  ProcessId id() const { return self_; }
+
+  // --- Introspection (tests and benches) -----------------------------
+  bool logic_active(AppId app) const;
+  const appmodel::LogicInstance* logic(AppId app) const;
+  appmodel::LogicInstance* logic(AppId app);
+  std::uint64_t delivered(AppId app) const;  // events fed to local logic
+  const std::set<ProcessId>& view() const;
+  std::vector<ProcessId> chain(AppId app) const;
+  const GaplessStream* gapless_stream(AppId app, SensorId sensor) const;
+  const GapStream* gap_stream(AppId app, SensorId sensor) const;
+  EventLog* event_log(AppId app);
+  sim::StableStore& store() { return store_; }
+  // Replicated application state shared by every app on this process
+  // (extension; trigger handlers reach it via TriggerContext::put/get).
+  store::ReplicatedStore& kv();
+
+ private:
+  struct StreamState {
+    appmodel::SensorEdge edge;  // merged edge (strongest guarantee wins)
+    std::unique_ptr<GaplessStream> gapless;
+    std::unique_ptr<GapStream> gap;
+  };
+  // A Gapless command sent to remote actuator nodes, retried until some
+  // active actuator node acknowledges it (§4's "delivery of actuation
+  // commands is analogous"). Device-level idempotence / Test&Set absorbs
+  // the duplicates a retry can cause.
+  struct PendingCommand {
+    wire::CommandPayload payload;
+    TimePoint first_sent{};
+    TimePoint last_sent{};
+  };
+  struct AppState {
+    std::shared_ptr<const appmodel::AppGraph> graph;
+    std::vector<ProcessId> chain;
+    std::unique_ptr<EventLog> log;
+    std::map<SensorId, StreamState> streams;
+    std::unique_ptr<appmodel::LogicInstance> logic;  // non-null iff active
+    std::optional<ProcessId> last_successor;
+    std::set<CommandId> commands_seen;
+    std::map<CommandId, PendingCommand> pending_commands;
+    std::uint64_t delivered{0};
+  };
+
+  void build_state();
+  void teardown_state();
+  void build_app_state(AppState& app, const std::map<ProcessId, int>& load);
+  StreamState make_stream(AppState& app, const appmodel::SensorEdge& edge);
+
+  // Message plumbing.
+  void on_message(const net::Message& msg);
+  void on_device_event(const devices::SensorEvent& e);
+  void on_view_change();
+  // Bayou-style anti-entropy: ask the ring successor for its prefix
+  // high-waters; on response, re-send what it misses. `force` syncs even
+  // when the successor is unchanged (the periodic pass).
+  void sync_rings(bool force);
+  void handle_sync_request(const net::Message& msg);
+  void handle_sync_response(const net::Message& msg);
+  void handle_command(const net::Message& msg);
+  void handle_role_change(const net::Message& msg, bool promote);
+
+  // Execution service.
+  std::size_t rank_of(const AppState& app, ProcessId p) const;
+  void evaluate_role(AppId id, AppState& app);
+  void promote(AppId id, AppState& app);
+  void demote(AppId id, AppState& app);
+  void replay_backlog(AppId id, AppState& app);
+
+  // Delivery into the local logic node (metrics + watermark).
+  void deliver_to_logic(AppId id, AppState& app,
+                        const devices::SensorEvent& e);
+
+  // Actuation.
+  void route_command(AppId id, AppState& app,
+                     const appmodel::ActuatorEdge& edge,
+                     const devices::Command& cmd);
+  void submit_command_locally(AppState& app, const devices::Command& cmd);
+  // Alive processes hosting an active actuator node for `actuator`.
+  std::vector<ProcessId> actuator_targets(ActuatorId actuator) const;
+  void retry_pending_commands();
+
+  // Watermark gossip.
+  std::vector<std::byte> keepalive_payload();
+  void on_keepalive_payload(ProcessId from, BinaryReader& r);
+
+  std::string metric_prefix(AppId id) const;
+
+  sim::Simulation* sim_;
+  net::SimNetwork* net_;
+  devices::HomeBus* bus_;
+  ProcessId self_;
+  std::vector<ProcessId> all_;
+  Config config_;
+  metrics::Registry* metrics_;
+
+  sim::StableStore store_;  // survives crashes
+  std::vector<std::shared_ptr<const appmodel::AppGraph>> deployed_;
+
+  // Volatile state, torn down on crash.
+  std::unique_ptr<sim::ProcessTimers> timers_;
+  std::unique_ptr<membership::FailureDetector> fd_;
+  std::unique_ptr<store::ReplicatedStore> kv_;
+  std::map<AppId, AppState> apps_;
+  bool up_{false};
+  bool started_{false};
+  std::uint32_t next_cmd_seq_{1};
+};
+
+}  // namespace riv::core

@@ -1,0 +1,145 @@
+#include "core/wire.hpp"
+
+#include "common/assert.hpp"
+
+namespace riv::core::wire {
+
+void write_pid_set(BinaryWriter& w, const std::set<ProcessId>& s) {
+  RIV_ASSERT(s.size() <= 255, "process-id set too large for the wire");
+  w.u8(static_cast<std::uint8_t>(s.size()));
+  for (ProcessId p : s) w.process_id(p);
+}
+
+std::set<ProcessId> read_pid_set(BinaryReader& r) {
+  std::set<ProcessId> out;
+  std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) out.insert(r.process_id());
+  return out;
+}
+
+std::vector<std::byte> encode(const RingPayload& p) {
+  BinaryWriter w;
+  w.app_id(p.app);
+  w.sensor_id(p.sensor);
+  write_pid_set(w, p.seen);
+  write_pid_set(w, p.need);
+  devices::encode(w, p.event);
+  return w.take();
+}
+
+RingPayload decode_ring(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  RingPayload p;
+  p.app = r.app_id();
+  p.sensor = r.sensor_id();
+  p.seen = read_pid_set(r);
+  p.need = read_pid_set(r);
+  p.event = devices::decode_event(r);
+  RIV_ASSERT(r.ok(), "corrupt ring payload");
+  return p;
+}
+
+std::vector<std::byte> encode_event_payload(const EventPayload& p) {
+  BinaryWriter w;
+  w.app_id(p.app);
+  w.sensor_id(p.sensor);
+  devices::encode(w, p.event);
+  return w.take();
+}
+
+EventPayload decode_event_payload(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  EventPayload p;
+  p.app = r.app_id();
+  p.sensor = r.sensor_id();
+  p.event = devices::decode_event(r);
+  RIV_ASSERT(r.ok(), "corrupt event payload");
+  return p;
+}
+
+std::vector<std::byte> encode_sync_request(AppId app) {
+  BinaryWriter w;
+  w.app_id(app);
+  return w.take();
+}
+
+AppId decode_sync_request(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  AppId app = r.app_id();
+  RIV_ASSERT(r.ok(), "corrupt sync request");
+  return app;
+}
+
+std::vector<std::byte> encode(const SyncResponse& p) {
+  BinaryWriter w;
+  w.app_id(p.app);
+  w.u16(static_cast<std::uint16_t>(p.high_waters.size()));
+  for (const auto& [sensor, hw] : p.high_waters) {
+    w.sensor_id(sensor);
+    w.time_point(hw);
+  }
+  return w.take();
+}
+
+SyncResponse decode_sync_response(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  SyncResponse p;
+  p.app = r.app_id();
+  std::uint16_t n = r.u16();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    SensorId sensor = r.sensor_id();
+    TimePoint hw = r.time_point();
+    p.high_waters.emplace_back(sensor, hw);
+  }
+  RIV_ASSERT(r.ok(), "corrupt sync response");
+  return p;
+}
+
+std::vector<std::byte> encode(const CommandPayload& p) {
+  BinaryWriter w;
+  w.app_id(p.app);
+  w.u8(p.guarantee);
+  devices::encode(w, p.command);
+  return w.take();
+}
+
+CommandPayload decode_command_payload(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  CommandPayload p;
+  p.app = r.app_id();
+  p.guarantee = r.u8();
+  p.command = devices::decode_command(r);
+  RIV_ASSERT(r.ok(), "corrupt command payload");
+  return p;
+}
+
+std::vector<std::byte> encode_role_change(AppId app) {
+  BinaryWriter w;
+  w.app_id(app);
+  return w.take();
+}
+
+AppId decode_role_change(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  AppId app = r.app_id();
+  RIV_ASSERT(r.ok(), "corrupt role-change payload");
+  return app;
+}
+
+std::vector<std::byte> encode(const CommandAck& p) {
+  BinaryWriter w;
+  w.app_id(p.app);
+  w.command_id(p.command);
+  return w.take();
+}
+
+CommandAck decode_command_ack(const std::vector<std::byte>& buf) {
+  BinaryReader r(buf);
+  CommandAck p;
+  p.app = r.app_id();
+  p.command = r.command_id();
+  RIV_ASSERT(r.ok(), "corrupt command ack");
+  return p;
+}
+
+}  // namespace riv::core::wire

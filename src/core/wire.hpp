@@ -1,0 +1,75 @@
+// Payload formats of Rivulet's protocol messages.
+//
+// Sizes here feed the network-overhead numbers (Fig 5), so each struct
+// documents its encoded size. Process-id sets (the ring protocol's S and V)
+// are encoded as a 1-byte count plus 2 bytes per id — the metadata the
+// paper says makes Gapless costlier than plain broadcast at one receiving
+// process.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "devices/event.hpp"
+
+namespace riv::core::wire {
+
+void write_pid_set(BinaryWriter& w, const std::set<ProcessId>& s);
+std::set<ProcessId> read_pid_set(BinaryReader& r);
+
+// kRingEvent: app (2) | sensor (2) | S (1 + 2|S|) | V (1 + 2|V|) | event.
+struct RingPayload {
+  AppId app{};
+  SensorId sensor{};
+  std::set<ProcessId> seen;  // S
+  std::set<ProcessId> need;  // V
+  devices::SensorEvent event{};
+};
+std::vector<std::byte> encode(const RingPayload& p);
+RingPayload decode_ring(const std::vector<std::byte>& buf);
+
+// kRbEvent / kGapForward: app (2) | sensor (2) | event.
+struct EventPayload {
+  AppId app{};
+  SensorId sensor{};
+  devices::SensorEvent event{};
+};
+std::vector<std::byte> encode_event_payload(const EventPayload& p);
+EventPayload decode_event_payload(const std::vector<std::byte>& buf);
+
+// kSyncRequest: app (2).
+std::vector<std::byte> encode_sync_request(AppId app);
+AppId decode_sync_request(const std::vector<std::byte>& buf);
+
+// kSyncResponse: app (2) | count (2) | (sensor (2), high-water (8))*.
+struct SyncResponse {
+  AppId app{};
+  std::vector<std::pair<SensorId, TimePoint>> high_waters;
+};
+std::vector<std::byte> encode(const SyncResponse& p);
+SyncResponse decode_sync_response(const std::vector<std::byte>& buf);
+
+// kCommand: app (2) | guarantee (1) | command (33).
+struct CommandPayload {
+  AppId app{};
+  std::uint8_t guarantee{0};
+  devices::Command command{};
+};
+std::vector<std::byte> encode(const CommandPayload& p);
+CommandPayload decode_command_payload(const std::vector<std::byte>& buf);
+
+// kPromote / kDemote: app (2).
+std::vector<std::byte> encode_role_change(AppId app);
+AppId decode_role_change(const std::vector<std::byte>& buf);
+
+// kCommandAck: app (2) | command id (6).
+struct CommandAck {
+  AppId app{};
+  CommandId command{};
+};
+std::vector<std::byte> encode(const CommandAck& p);
+CommandAck decode_command_ack(const std::vector<std::byte>& buf);
+
+}  // namespace riv::core::wire

@@ -1,0 +1,66 @@
+#include "devices/actuator.hpp"
+
+#include "common/assert.hpp"
+
+namespace riv::devices {
+
+Actuator::Actuator(sim::Simulation& sim, ActuatorSpec spec, Rng rng)
+    : sim_(&sim),
+      spec_(std::move(spec)),
+      rng_(rng),
+      timers_(sim),
+      state_(spec_.initial_state) {}
+
+void Actuator::add_link(ProcessId process, double loss_prob) {
+  links_[process] = loss_prob;
+}
+
+bool Actuator::linked_to(ProcessId process) const {
+  return links_.count(process) != 0;
+}
+
+std::vector<ProcessId> Actuator::linked_processes() const {
+  std::vector<ProcessId> out;
+  out.reserve(links_.size());
+  for (const auto& [p, loss] : links_) out.push_back(p);
+  return out;
+}
+
+void Actuator::crash() {
+  crashed_ = true;
+  timers_.cancel_all();
+}
+
+void Actuator::submit(ProcessId from, const Command& cmd) {
+  auto it = links_.find(from);
+  if (it == links_.end()) return;  // out of range
+  if (rng_.bernoulli(it->second)) return;  // lost on the device link
+  const TechProfile& prof = profile(spec_.tech);
+  Duration delay = prof.link_latency + spec_.actuate_latency;
+  timers_.schedule_after(delay, [this, cmd] {
+    if (!crashed_) apply(cmd);
+  });
+}
+
+void Actuator::apply(const Command& cmd) {
+  bool duplicate = !seen_.insert(cmd.id).second;
+  if (duplicate) ++duplicate_deliveries_;
+
+  bool accepted = true;
+  if (cmd.test_and_set) {
+    RIV_ASSERT(spec_.supports_test_and_set,
+               "Test&Set command sent to a device without support");
+    accepted = state_ == cmd.expected;
+    if (!accepted) ++rejected_tas_;
+  }
+  if (accepted) {
+    state_ = cmd.value;
+    ++actions_;
+    // A duplicate delivery that is accepted and the device is not
+    // idempotent: a real-world double dispense / double brew.
+    if (duplicate && !spec_.idempotent) ++unwarranted_actions_;
+  }
+  history_.push_back(Applied{cmd.id, cmd.value, sim_->now(), accepted});
+}
+
+}  // namespace riv::devices

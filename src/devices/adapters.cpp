@@ -1,0 +1,31 @@
+#include "devices/adapters.hpp"
+
+#include "common/assert.hpp"
+
+namespace riv::devices {
+
+const TechProfile& profile(Technology tech) {
+  // Ranges per §2.1; latencies representative of the respective stacks
+  // (Z-Wave/Zigbee serial command round-trips are tens of ms; the IP
+  // software sensor of §8.1 rides the WiFi LAN at ~1 ms).
+  // Bandwidths: Z-Wave ~100 kb/s, Zigbee ~250 kb/s, BLE ~1 Mb/s,
+  // IP-over-WiFi ~50 Mb/s effective.
+  static const TechProfile kZWave{Technology::kZWave, 40.0, true,
+                                  milliseconds(12), 0.3, 0.001, 12, 0.0125};
+  static const TechProfile kZigbee{Technology::kZigbee, 15.0, true,
+                                   milliseconds(8), 0.3, 0.001, 10, 0.03125};
+  static const TechProfile kBle{Technology::kBle, 100.0, false,
+                                milliseconds(4), 0.2, 0.0005, 8, 0.125};
+  static const TechProfile kIp{Technology::kIp, 1e9, true, microseconds(800),
+                               0.2, 0.0, 28, 6.25};
+  switch (tech) {
+    case Technology::kZWave: return kZWave;
+    case Technology::kZigbee: return kZigbee;
+    case Technology::kBle: return kBle;
+    case Technology::kIp: return kIp;
+  }
+  RIV_ASSERT(false, "unknown technology");
+  return kIp;
+}
+
+}  // namespace riv::devices

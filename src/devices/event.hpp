@@ -1,0 +1,52 @@
+// Sensor events and actuation commands — the payloads everything carries.
+//
+// Wire layout of an encoded SensorEvent (see codec.hpp for primitives):
+//   event id (6 B) | epoch (4 B) | emitted_at (8 B) | flags (1 B)
+//   | payload length (4 B) | payload (payload_size B)
+// The payload carries the sensed value in exactly `payload_size` bytes,
+// matching Table 3 of the paper (small sensors: 4–8 B; camera frames /
+// microphone batches: 1–20 KB). Values in payloads narrower than 8 bytes
+// are fixed-point quantized (milli-units), which loses nothing relevant
+// for door/motion/temperature-class sensors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/codec.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace riv::devices {
+
+struct SensorEvent {
+  EventId id{};              // sensor + per-sensor sequence number
+  std::uint32_t epoch{0};    // polling epoch tag; 0 for push-based sensors
+  TimePoint emitted_at{};    // device-side emission time
+  bool poll_based{false};
+  double value{0.0};
+  std::uint32_t payload_size{4};  // bytes of sensed payload on the wire
+
+  std::size_t wire_size() const { return 23 + payload_size; }
+};
+
+void encode(BinaryWriter& w, const SensorEvent& e);
+SensorEvent decode_event(BinaryReader& r);
+
+// An actuation command produced by a logic node for one actuator.
+// Wire layout: command id (6 B) | actuator (2 B) | flags (1 B)
+//   | expected (8 B) | value (8 B) | issued_at (8 B)  => 33 B.
+struct Command {
+  CommandId id{};
+  ActuatorId actuator{};
+  bool test_and_set{false};  // §5: non-idempotent actuators require T&S
+  double expected{0.0};      // T&S precondition (ignored otherwise)
+  double value{0.0};
+  TimePoint issued_at{};
+
+  static constexpr std::size_t kWireSize = 33;
+};
+
+void encode(BinaryWriter& w, const Command& c);
+Command decode_command(BinaryReader& r);
+
+}  // namespace riv::devices

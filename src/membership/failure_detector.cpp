@@ -1,0 +1,73 @@
+#include "membership/failure_detector.hpp"
+
+#include "common/log.hpp"
+
+namespace riv::membership {
+
+FailureDetector::FailureDetector(sim::ProcessTimers& timers,
+                                 net::Transport& transport,
+                                 std::vector<ProcessId> all_processes,
+                                 Config config)
+    : timers_(&timers),
+      transport_(&transport),
+      self_(transport.local()),
+      all_(std::move(all_processes)),
+      config_(config) {}
+
+void FailureDetector::start() {
+  if (started_) return;
+  started_ = true;
+  // Optimistic initial view: all configured processes presumed alive.
+  TimePoint now = timers_->now();
+  for (ProcessId p : all_) {
+    if (p != self_) last_heard_[p] = now;
+  }
+  recompute_view();
+  tick();
+}
+
+void FailureDetector::tick() {
+  // Send keep-alives.
+  std::vector<std::byte> extra;
+  if (provider_) extra = provider_();
+  for (ProcessId p : all_) {
+    if (p == self_) continue;
+    BinaryWriter w;
+    w.time_point(timers_->now());
+    w.bytes(extra);
+    transport_->send(p, net::MsgType::kKeepAlive, w.take());
+  }
+  recompute_view();
+  timers_->schedule_after(config_.period, [this] { tick(); });
+}
+
+void FailureDetector::on_keepalive(const net::Message& msg) {
+  last_heard_[msg.src] = timers_->now();
+  if (handler_) {
+    BinaryReader r(msg.payload);
+    (void)r.time_point();  // sender timestamp (unused; clocks are synced)
+    std::vector<std::byte> extra = r.bytes();
+    if (!extra.empty()) {
+      BinaryReader pr(extra);
+      handler_(msg.src, pr);
+    }
+  }
+  recompute_view();
+}
+
+void FailureDetector::recompute_view() {
+  std::set<ProcessId> next;
+  next.insert(self_);  // p_i never suspects itself (§4.1)
+  TimePoint now = timers_->now();
+  for (const auto& [p, heard] : last_heard_) {
+    if (now - heard <= config_.timeout) next.insert(p);
+  }
+  if (next != view_) {
+    view_ = std::move(next);
+    RIV_DEBUG("membership", riv::to_string(self_) << " view size "
+                                                  << view_.size());
+    if (on_view_change_) on_view_change_(view_);
+  }
+}
+
+}  // namespace riv::membership

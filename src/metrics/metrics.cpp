@@ -1,0 +1,31 @@
+#include "metrics/metrics.hpp"
+
+namespace riv::metrics {
+
+std::vector<TimeSeries::Point> TimeSeries::binned_last(Duration bin,
+                                                       TimePoint end) const {
+  std::vector<Point> out;
+  double last = 0.0;
+  std::size_t i = 0;
+  for (TimePoint t{bin.us}; t <= end; t = t + bin) {
+    while (i < points_.size() && points_[i].t <= t) last = points_[i++].v;
+    out.push_back({t, last});
+  }
+  return out;
+}
+
+std::uint64_t Registry::counter_sum(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& [name, counter] : counters_) {
+    if (name.rfind(prefix, 0) == 0) total += counter.value();
+  }
+  return total;
+}
+
+void Registry::reset() {
+  counters_.clear();
+  latencies_.clear();
+  series_.clear();
+}
+
+}  // namespace riv::metrics

@@ -1,0 +1,109 @@
+// Measurement infrastructure for the evaluation harness.
+//
+// Every experiment in bench/ reads its numbers from these recorders rather
+// than from analytic formulas: the transport charges bytes into a Counter,
+// the runtime records per-event delivery latency into a LatencyRecorder,
+// and timeline experiments (Fig 7) append to a TimeSeries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace riv::metrics {
+
+// Monotonic counter (messages, bytes, polls, ...).
+class Counter {
+ public:
+  void add(std::uint64_t v = 1) { value_ += v; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+// Collects duration samples and reports order statistics.
+class LatencyRecorder {
+ public:
+  void record(Duration d) { samples_.push_back(d); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  Duration mean() const {
+    if (samples_.empty()) return {};
+    std::int64_t sum = 0;
+    for (Duration d : samples_) sum += d.us;
+    return {sum / static_cast<std::int64_t>(samples_.size())};
+  }
+
+  // q in [0, 1]; q = 0.5 is the median. Returns zero when empty.
+  Duration percentile(double q) const {
+    if (samples_.empty()) return {};
+    std::vector<Duration> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(idx + 0.5)];
+  }
+
+  Duration max() const {
+    Duration m{};
+    for (Duration d : samples_) m = std::max(m, d);
+    return m;
+  }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  std::vector<Duration> samples_;
+};
+
+// Ordered (time, value) samples; used for timeline plots (Fig 7).
+class TimeSeries {
+ public:
+  void append(TimePoint t, double v) { points_.push_back({t, v}); }
+  struct Point {
+    TimePoint t;
+    double v;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  // Re-bucket into fixed-width bins; each bin reports the last sample value
+  // (suitable for cumulative counters).
+  std::vector<Point> binned_last(Duration bin, TimePoint end) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Named metric registry shared by one experiment. Counters are created on
+// first use; names follow "component.metric" (e.g. "net.bytes.ring_event").
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  LatencyRecorder& latency(const std::string& name) { return latencies_[name]; }
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+
+  std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  // Sum of all counters whose name starts with `prefix`.
+  std::uint64_t counter_sum(const std::string& prefix) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, LatencyRecorder> latencies_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace riv::metrics

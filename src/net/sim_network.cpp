@@ -1,0 +1,136 @@
+#include "net/sim_network.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace riv::net {
+
+class SimNetwork::Endpoint : public Transport {
+ public:
+  Endpoint(SimNetwork& net, ProcessId id) : net_(&net), id_(id) {}
+
+  ProcessId local() const override { return id_; }
+
+  void send(ProcessId dst, MsgType type,
+            std::vector<std::byte> payload) override {
+    Message msg;
+    msg.src = id_;
+    msg.dst = dst;
+    msg.type = type;
+    msg.payload = std::move(payload);
+    net_->send_frame(std::move(msg));
+  }
+
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+  void deliver(const Message& msg) {
+    if (handler_) handler_(msg);
+  }
+
+ private:
+  SimNetwork* net_;
+  ProcessId id_;
+  Handler handler_;
+};
+
+SimNetwork::SimNetwork(sim::Simulation& sim, metrics::Registry& metrics,
+                       WifiModel model)
+    : sim_(&sim), metrics_(&metrics), model_(model) {}
+
+SimNetwork::~SimNetwork() = default;
+
+Transport& SimNetwork::endpoint(ProcessId p) {
+  auto it = endpoints_.find(p);
+  if (it == endpoints_.end()) {
+    it = endpoints_.emplace(p, std::make_unique<Endpoint>(*this, p)).first;
+    up_.emplace(p, true);
+  }
+  return *it->second;
+}
+
+void SimNetwork::set_process_up(ProcessId p, bool up) { up_[p] = up; }
+
+bool SimNetwork::process_up(ProcessId p) const {
+  auto it = up_.find(p);
+  return it != up_.end() && it->second;
+}
+
+void SimNetwork::set_partition(const std::vector<std::set<ProcessId>>& groups) {
+  partition_group_.clear();
+  partitioned_ = true;
+  int g = 1;
+  for (const auto& group : groups) {
+    for (ProcessId p : group) partition_group_[p] = g;
+    ++g;
+  }
+}
+
+void SimNetwork::heal_partition() {
+  partition_group_.clear();
+  partitioned_ = false;
+}
+
+bool SimNetwork::connected(ProcessId a, ProcessId b) const {
+  if (a == b) return true;
+  if (!partitioned_) return true;
+  auto ia = partition_group_.find(a);
+  auto ib = partition_group_.find(b);
+  // Unmentioned processes are singleton groups: only reachable from
+  // themselves while the partition lasts.
+  if (ia == partition_group_.end() || ib == partition_group_.end())
+    return false;
+  return ia->second == ib->second;
+}
+
+int SimNetwork::up_count() const {
+  int n = 0;
+  for (const auto& [p, up] : up_)
+    if (up) ++n;
+  return n;
+}
+
+Duration SimNetwork::frame_delay(std::size_t bytes) {
+  const double b = static_cast<double>(bytes);
+  double us = static_cast<double>(model_.base_latency.us);
+  us += b / model_.bandwidth_bytes_per_us;
+  us += b * model_.cpu_us_per_byte;
+  int extra_procs = std::max(0, up_count() - 2);
+  us += static_cast<double>(model_.congestion_per_process.us) * extra_procs;
+  us *= 1.0 + sim_->rng().uniform(0.0, model_.jitter_frac);
+  return Duration{static_cast<std::int64_t>(us)};
+}
+
+void SimNetwork::send_frame(Message msg) {
+  if (!process_up(msg.src)) return;  // a dead process sends nothing
+  if (!connected(msg.src, msg.dst)) return;  // TCP reset: frame lost
+
+  const char* type_name = to_string(msg.type);
+  metrics_->counter(std::string("net.msgs.") + type_name).add(1);
+  metrics_->counter(std::string("net.bytes.") + type_name)
+      .add(msg.wire_size());
+
+  TimePoint deliver_at = sim_->now() + frame_delay(msg.wire_size());
+  // Enforce per-pair FIFO: a later frame never overtakes an earlier one.
+  auto key = std::make_pair(msg.src, msg.dst);
+  auto it = last_delivery_.find(key);
+  if (it != last_delivery_.end() && deliver_at < it->second)
+    deliver_at = it->second;
+  last_delivery_[key] = deliver_at;
+
+  ++in_flight_;
+  sim_->schedule_at(deliver_at, [this, msg = std::move(msg)]() {
+    --in_flight_;
+    // Re-check at delivery time: a crash or partition that happened while
+    // the frame was in flight loses it.
+    if (!process_up(msg.dst) || !process_up(msg.src) ||
+        !connected(msg.src, msg.dst))
+      return;
+    auto it = endpoints_.find(msg.dst);
+    if (it == endpoints_.end()) return;
+    it->second->deliver(msg);
+  });
+}
+
+}  // namespace riv::net

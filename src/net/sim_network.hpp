@@ -1,0 +1,95 @@
+// Simulated home WiFi network.
+//
+// Models the testbed of §8.1: all hosts share one 802.11 access point.
+// A frame from process A to process B therefore crosses the shared medium
+// and pays:
+//   * a base per-hop latency (AP relay, MAC contention floor),
+//   * transmission time = bytes / effective bandwidth,
+//   * CPU serialization/deserialization cost proportional to bytes
+//     (wimpy 1.2 GHz ARM hosts, §8.1),
+//   * a congestion term growing with the number of live processes
+//     (keep-alive chatter; the paper attributes Gap's delay growth with
+//     process count to this, Fig 4a),
+//   * bounded random jitter.
+//
+// Reliability model: in-order reliable delivery per (src,dst) while both
+// processes are up and mutually reachable; a crash or partition at send
+// or delivery time loses the frame (TCP reset). Partitions are arbitrary
+// groupings of processes (§3.1 allows arbitrary partitions).
+//
+// Byte accounting: every frame put on the wire increments
+//   net.msgs.<type> and net.bytes.<type>
+// in the experiment's metrics Registry; Fig 5 reads these.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "net/transport.hpp"
+#include "sim/simulation.hpp"
+
+namespace riv::net {
+
+struct WifiModel {
+  Duration base_latency{1200};           // 1.2 ms per process->process hop
+  double bandwidth_bytes_per_us{6.25};   // ~50 Mb/s effective
+  double cpu_us_per_byte{0.04};          // serialize+deserialize, both ends
+  Duration congestion_per_process{300};  // extra delay per live process > 2
+  double jitter_frac{0.15};              // uniform [0, frac] of the total
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulation& sim, metrics::Registry& metrics,
+             WifiModel model = {});
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Get (creating on first use) the transport endpoint of a process.
+  Transport& endpoint(ProcessId p);
+
+  // Process liveness: a down process neither sends nor receives. (Crash of
+  // the Rivulet runtime; the paper's crash-recovery model §3.1.)
+  void set_process_up(ProcessId p, bool up);
+  bool process_up(ProcessId p) const;
+
+  // Install a partition: processes in different groups cannot communicate;
+  // processes in the same group can. Any process not mentioned forms its
+  // own singleton group.
+  void set_partition(const std::vector<std::set<ProcessId>>& groups);
+  // Remove any partition: full connectivity.
+  void heal_partition();
+  bool connected(ProcessId a, ProcessId b) const;
+
+  // Number of processes currently up (drives the congestion term).
+  int up_count() const;
+
+  const WifiModel& model() const { return model_; }
+  metrics::Registry& metrics() { return *metrics_; }
+
+  // Total frames currently in flight (for tests).
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  class Endpoint;
+
+  void send_frame(Message msg);
+  Duration frame_delay(std::size_t bytes);
+
+  sim::Simulation* sim_;
+  metrics::Registry* metrics_;
+  WifiModel model_;
+  std::map<ProcessId, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<ProcessId, bool> up_;
+  std::map<ProcessId, int> partition_group_;  // empty map = no partition
+  bool partitioned_{false};
+  std::map<std::pair<ProcessId, ProcessId>, TimePoint> last_delivery_;
+  std::size_t in_flight_{0};
+};
+
+}  // namespace riv::net

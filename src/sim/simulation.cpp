@@ -1,0 +1,82 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace riv::sim {
+
+TimerId Simulation::schedule_at(TimePoint t, Callback cb) {
+  RIV_ASSERT(t >= now_, "cannot schedule in the past");
+  TimerId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  pending_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(entry.id);
+    if (it == pending_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    now_ = entry.t;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(TimePoint t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    QueueEntry entry = queue_.top();
+    if (pending_.find(entry.id) == pending_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.t > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run_all() {
+  while (step()) {
+  }
+}
+
+TimerId ProcessTimers::schedule_after(Duration d, Simulation::Callback cb) {
+  garbage_collect();
+  TimerId id = sim_->schedule_after(d, std::move(cb));
+  owned_.push_back(id);
+  return id;
+}
+
+TimerId ProcessTimers::schedule_at(TimePoint t, Simulation::Callback cb) {
+  garbage_collect();
+  TimerId id = sim_->schedule_at(t, std::move(cb));
+  owned_.push_back(id);
+  return id;
+}
+
+void ProcessTimers::cancel(TimerId id) {
+  sim_->cancel(id);
+  owned_.erase(std::remove(owned_.begin(), owned_.end(), id), owned_.end());
+}
+
+void ProcessTimers::cancel_all() {
+  for (TimerId id : owned_) sim_->cancel(id);
+  owned_.clear();
+}
+
+void ProcessTimers::garbage_collect() {
+  if (owned_.size() < 64) return;
+  owned_.erase(std::remove_if(owned_.begin(), owned_.end(),
+                              [&](TimerId id) { return !sim_->is_pending(id); }),
+               owned_.end());
+}
+
+}  // namespace riv::sim

@@ -1,0 +1,107 @@
+// Discrete-event simulation kernel.
+//
+// This is the substitution for the paper's physical testbed (Raspberry Pi
+// hosts on a home WiFi network): a single-threaded event loop over virtual
+// time. Determinism rules:
+//   * ties in firing time break by scheduling order (monotonic sequence
+//     number), never by container iteration order;
+//   * all randomness comes from the simulation's seeded Rng (or forks
+//     of it);
+//   * protocol code only sees the Clock/timer interfaces, so it cannot
+//     accidentally depend on wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace riv::sim {
+
+using TimerId = std::uint64_t;
+
+class Simulation : public Clock {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+  TimePoint now() const override { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedule `cb` at absolute time `t` (>= now). Returns an id usable with
+  // cancel(); ids are never reused.
+  TimerId schedule_at(TimePoint t, Callback cb);
+  TimerId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  // Cancel a pending timer. Cancelling an already-fired or already-cancelled
+  // timer is a harmless no-op (protocols routinely cancel opportunistically).
+  void cancel(TimerId id) { pending_.erase(id); }
+  bool is_pending(TimerId id) const { return pending_.count(id) != 0; }
+
+  // Fire the next event. Returns false when the queue is empty.
+  bool step();
+
+  // Run events with firing time <= t, then set now to t.
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  // Drain the queue completely (use in tests with finite workloads only).
+  void run_all();
+
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct QueueEntry {
+    TimePoint t;
+    std::uint64_t seq;
+    TimerId id;
+    bool operator>(const QueueEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  TimerId next_id_{1};
+  Rng rng_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::unordered_map<TimerId, Callback> pending_;
+};
+
+// Timer façade owned by one simulated process. Crash semantics: when the
+// process crashes, cancel_all() drops every outstanding timer so no stale
+// callback from a previous incarnation can fire (the paper's crash-recovery
+// model: a crashed process halts all activity).
+class ProcessTimers {
+ public:
+  explicit ProcessTimers(Simulation& sim) : sim_(&sim) {}
+  ~ProcessTimers() { cancel_all(); }
+
+  ProcessTimers(const ProcessTimers&) = delete;
+  ProcessTimers& operator=(const ProcessTimers&) = delete;
+
+  TimerId schedule_after(Duration d, Simulation::Callback cb);
+  TimerId schedule_at(TimePoint t, Simulation::Callback cb);
+  void cancel(TimerId id);
+  void cancel_all();
+
+  TimePoint now() const { return sim_->now(); }
+  Simulation& sim() { return *sim_; }
+
+ private:
+  void garbage_collect();
+
+  Simulation* sim_;
+  std::vector<TimerId> owned_;
+};
+
+}  // namespace riv::sim

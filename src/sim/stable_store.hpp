@@ -1,0 +1,46 @@
+// Simulated stable storage.
+//
+// The paper's crash-recovery model assumes a recovering process can report
+// the timestamp of the last event it received (the Bayou-style successor
+// sync in §4.1). That requires state surviving a crash. StableStore models
+// a tiny persistent key-value area (flash on a hub, disk on a TV): writes
+// are atomic per key and survive crash/recover; volatile process state does
+// not.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace riv::sim {
+
+class StableStore {
+ public:
+  void put(const std::string& key, std::vector<std::byte> value) {
+    data_[key] = std::move(value);
+  }
+  std::optional<std::vector<std::byte>> get(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase(const std::string& key) { data_.erase(key); }
+  bool contains(const std::string& key) const { return data_.count(key) != 0; }
+  std::size_t size() const { return data_.size(); }
+
+  // Keys with the given prefix, in lexicographic order (deterministic).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+      if (it->first.rfind(prefix, 0) != 0) break;
+      out.push_back(it->first);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::byte>> data_;
+};
+
+}  // namespace riv::sim

@@ -1,0 +1,359 @@
+#include "workload/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "appmodel/marzullo.hpp"
+
+namespace riv::workload::apps {
+
+using appmodel::AppBuilder;
+using appmodel::EvictorPolicy;
+using appmodel::FTCombiner;
+using appmodel::PollingPolicy;
+using appmodel::StreamWindow;
+using appmodel::TriggerContext;
+using appmodel::TriggerPolicy;
+using appmodel::WindowSpec;
+
+namespace {
+
+// Mean of the newest events' values across all contributing streams.
+double mean_value(const std::vector<StreamWindow>& windows) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const StreamWindow& w : windows) {
+    for (const auto& e : w.events) {
+      sum += e.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+bool any_value_at_least(const std::vector<StreamWindow>& windows,
+                        double threshold) {
+  for (const StreamWindow& w : windows) {
+    for (const auto& e : w.events) {
+      if (e.value >= threshold) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AppGraph occupancy_hvac(AppId id, std::vector<SensorId> occupancy,
+                        ActuatorId thermostat, Duration window) {
+  AppBuilder app(id, "occupancy-hvac");
+  auto op = app.add_operator("SetPoint",
+                             std::make_unique<FTCombiner>(
+                                 occupancy.empty() ? 0 : occupancy.size() - 1));
+  for (SensorId s : occupancy)
+    op.add_sensor(s, Guarantee::kGap, WindowSpec::time_window(window));
+  op.add_actuator(thermostat, Guarantee::kGap);
+  op.handle_triggered_window(
+      [thermostat](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        // Occupied => comfort set-point, else eco set-point (PreHeat-ish).
+        bool occupied = any_value_at_least(w, 1.0);
+        ctx.actuate(thermostat, occupied ? 21.0 : 17.0);
+      });
+  return app.build();
+}
+
+AppGraph user_hvac(AppId id, SensorId camera, ActuatorId thermostat) {
+  AppBuilder app(id, "user-hvac");
+  auto op = app.add_operator("ClothingLevel");
+  op.add_sensor(camera, Guarantee::kGap, WindowSpec::count_window(1));
+  op.add_actuator(thermostat, Guarantee::kGap);
+  op.handle_triggered_window(
+      [thermostat](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        // Camera "value" stands in for the inferred clothing level [SPOT]:
+        // heavier clothing => lower set-point.
+        double clothing = mean_value(w);
+        ctx.actuate(thermostat, 23.0 - std::clamp(clothing, 0.0, 1.0) * 3.0);
+      });
+  return app.build();
+}
+
+AppGraph automated_lighting(AppId id, SensorId occupancy, SensorId camera,
+                            SensorId microphone, ActuatorId light) {
+  AppBuilder app(id, "automated-lighting");
+  // Any single modality suffices to infer presence (§2.2): f = 2 of 3.
+  auto op = app.add_operator("Presence", std::make_unique<FTCombiner>(2));
+  for (SensorId s : {occupancy, camera, microphone})
+    op.add_sensor(s, Guarantee::kGap, WindowSpec::count_window(1));
+  op.add_actuator(light, Guarantee::kGap);
+  op.handle_triggered_window(
+      [light](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        ctx.actuate(light, any_value_at_least(w, 0.5) ? 1.0 : 0.0);
+      });
+  return app.build();
+}
+
+AppGraph appliance_alert(AppId id, SensorId appliance_energy,
+                         SensorId occupancy, ActuatorId notifier,
+                         Duration window, double on_threshold_watts) {
+  AppBuilder app(id, "appliance-alert");
+  auto op = app.add_operator("LeftOn", std::make_unique<FTCombiner>(1));
+  op.add_sensor(appliance_energy, Guarantee::kGap,
+                WindowSpec::time_window(window));
+  op.add_sensor(occupancy, Guarantee::kGap, WindowSpec::time_window(window));
+  op.add_actuator(notifier, Guarantee::kGap);
+  op.handle_triggered_window([notifier, appliance_energy, on_threshold_watts](
+                                 const std::vector<StreamWindow>& w,
+                                 TriggerContext& ctx) {
+    bool appliance_on = false;
+    bool someone_home = false;
+    for (const StreamWindow& sw : w) {
+      for (const auto& e : sw.events) {
+        if (e.id.sensor == appliance_energy)
+          appliance_on |= e.value >= on_threshold_watts;
+        else
+          someone_home |= e.value >= 1.0;
+      }
+    }
+    if (appliance_on && !someone_home) ctx.actuate(notifier, 1.0);
+  });
+  return app.build();
+}
+
+AppGraph activity_tracking(AppId id, SensorId microphone,
+                           ActuatorId notifier, std::size_t frames) {
+  AppBuilder app(id, "activity-tracking");
+  auto score = app.add_operator("ActivityScore");
+  score.add_sensor(microphone, Guarantee::kGap,
+                   WindowSpec::count_window(frames));
+  score.handle_triggered_window(
+      [](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        // Energy of the audio frames stands in for the activity classifier.
+        ctx.emit(mean_value(w));
+      });
+  auto report = app.add_operator("Report");
+  report.add_upstream_operator("ActivityScore", WindowSpec::count_window(1));
+  report.add_actuator(notifier, Guarantee::kGap);
+  report.handle_triggered_window(
+      [notifier](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        ctx.actuate(notifier, mean_value(w));
+      });
+  return app.build();
+}
+
+AppGraph fall_alert(AppId id, SensorId wearable, ActuatorId notifier) {
+  AppBuilder app(id, "fall-alert");
+  auto op = app.add_operator("FallDetect");
+  op.add_sensor(wearable, Guarantee::kGapless, WindowSpec::count_window(1));
+  op.add_actuator(notifier, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [notifier](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        if (any_value_at_least(w, 1.0)) ctx.actuate(notifier, 1.0);
+      });
+  return app.build();
+}
+
+AppGraph inactive_alert(AppId id, SensorId motion, SensorId door,
+                        ActuatorId notifier, Duration window) {
+  AppBuilder app(id, "inactive-alert");
+  auto op = app.add_operator("Inactivity", std::make_unique<FTCombiner>(1));
+  op.add_sensor(motion, Guarantee::kGapless, WindowSpec::time_window(window));
+  op.add_sensor(door, Guarantee::kGapless, WindowSpec::time_window(window));
+  op.add_actuator(notifier, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [notifier](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        // Events arrived but none showed activity: the elder is inactive.
+        if (!any_value_at_least(w, 1.0)) ctx.actuate(notifier, 1.0);
+      });
+  return app.build();
+}
+
+AppGraph flood_fire_alert(AppId id, SensorId water, SensorId smoke,
+                          ActuatorId notifier) {
+  AppBuilder app(id, "flood-fire-alert");
+  auto op = app.add_operator("Detect", std::make_unique<FTCombiner>(1));
+  op.add_sensor(water, Guarantee::kGapless, WindowSpec::count_window(1));
+  op.add_sensor(smoke, Guarantee::kGapless, WindowSpec::count_window(1));
+  op.add_actuator(notifier, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [notifier](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        if (any_value_at_least(w, 1.0)) ctx.actuate(notifier, 1.0);
+      });
+  return app.build();
+}
+
+AppGraph intrusion_detection(AppId id, std::vector<SensorId> doors,
+                             ActuatorId siren) {
+  // Listing 1, verbatim semantics: FTCombiner(n-1), CountWindow(1),
+  // Gapless on every door sensor.
+  AppBuilder app(id, "intrusion-detection");
+  auto op = app.add_operator(
+      "Intrusion",
+      std::make_unique<FTCombiner>(doors.empty() ? 0 : doors.size() - 1));
+  for (SensorId s : doors)
+    op.add_sensor(s, Guarantee::kGapless, WindowSpec::count_window(1));
+  op.add_actuator(siren, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [siren](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        if (any_value_at_least(w, 1.0)) ctx.actuate(siren, 1.0);
+      });
+  return app.build();
+}
+
+AppGraph energy_billing(AppId id, SensorId power, ActuatorId display,
+                        Duration window, double price_per_kwh) {
+  AppBuilder app(id, "energy-billing");
+  auto op = app.add_operator("CostUpdate");
+  op.add_sensor(power, Guarantee::kGapless, WindowSpec::time_window(window));
+  op.add_actuator(display, Guarantee::kGapless);
+  op.handle_triggered_window([display, price_per_kwh, window](
+                                 const std::vector<StreamWindow>& w,
+                                 TriggerContext& ctx) {
+    // Integrate power over the window into a cost increment. Missing
+    // events would directly corrupt the bill (§2.2) — hence Gapless.
+    double kwh = 0.0;
+    for (const StreamWindow& sw : w) {
+      for (const auto& e : sw.events)
+        kwh += e.value * window.seconds() /
+               (3600.0 * 1000.0 * static_cast<double>(sw.events.size()));
+    }
+    ctx.actuate(display, kwh * price_per_kwh);
+  });
+  return app.build();
+}
+
+AppGraph temperature_hvac(AppId id, SensorId temperature, ActuatorId hvac,
+                          Duration epoch, double heat_below,
+                          double cool_above) {
+  AppBuilder app(id, "temperature-hvac");
+  auto op = app.add_operator("Thermostat");
+  op.add_sensor(temperature, Guarantee::kGapless, WindowSpec::count_window(1),
+                PollingPolicy{epoch});
+  op.add_actuator(hvac, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [hvac, heat_below, cool_above](const std::vector<StreamWindow>& w,
+                                     TriggerContext& ctx) {
+        double t = mean_value(w);
+        if (t < heat_below)
+          ctx.actuate(hvac, +1.0);  // heat
+        else if (t > cool_above)
+          ctx.actuate(hvac, -1.0);  // cool
+        else
+          ctx.actuate(hvac, 0.0);  // idle
+      });
+  return app.build();
+}
+
+AppGraph air_monitoring(AppId id, SensorId co2, ActuatorId notifier,
+                        Duration epoch, double threshold) {
+  AppBuilder app(id, "air-monitoring");
+  auto op = app.add_operator("AirQuality");
+  op.add_sensor(co2, Guarantee::kGapless, WindowSpec::count_window(1),
+                PollingPolicy{epoch});
+  op.add_actuator(notifier, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [notifier, threshold](const std::vector<StreamWindow>& w,
+                            TriggerContext& ctx) {
+        if (any_value_at_least(w, threshold)) ctx.actuate(notifier, 1.0);
+      });
+  return app.build();
+}
+
+AppGraph surveillance(AppId id, SensorId camera, ActuatorId recorder,
+                      double unknown_threshold) {
+  AppBuilder app(id, "surveillance");
+  auto op = app.add_operator("UnknownObject");
+  op.add_sensor(camera, Guarantee::kGapless, WindowSpec::count_window(1));
+  op.add_actuator(recorder, Guarantee::kGapless);
+  op.handle_triggered_window(
+      [recorder, unknown_threshold](const std::vector<StreamWindow>& w,
+                                    TriggerContext& ctx) {
+        if (any_value_at_least(w, unknown_threshold))
+          ctx.actuate(recorder, 1.0);
+      });
+  return app.build();
+}
+
+AppGraph turn_light_on_off(AppId id, SensorId door, ActuatorId light,
+                           Guarantee guarantee) {
+  AppBuilder app(id, "turn-light-on-off");
+  auto op = app.add_operator("TurnLightOnOff");
+  op.add_sensor(door, guarantee, WindowSpec::count_window(1));
+  op.add_actuator(light, guarantee);
+  op.handle_triggered_window(
+      [light](const std::vector<StreamWindow>& w, TriggerContext& ctx) {
+        // Door open (1) => light on; door close (0) => light off.
+        for (const StreamWindow& sw : w) {
+          for (const auto& e : sw.events)
+            ctx.actuate(light, e.value >= 0.5 ? 1.0 : 0.0);
+        }
+      });
+  return app.build();
+}
+
+AppGraph temperature_averaging(AppId id,
+                               std::vector<SensorId> temperatures,
+                               ActuatorId thermostat, Duration window,
+                               double uncertainty) {
+  // Listing 2: FTCombiner(floor((n-1)/3)), TimeWindow(window), Gap.
+  const std::size_t n = temperatures.size();
+  AppBuilder app(id, "temperature-averaging");
+  auto op = app.add_operator(
+      "Averaging",
+      std::make_unique<FTCombiner>(appmodel::marzullo_max_arbitrary(n)));
+  for (SensorId s : temperatures)
+    op.add_sensor(s, Guarantee::kGap, WindowSpec::time_window(window));
+  op.add_actuator(thermostat, Guarantee::kGap);
+  std::size_t f = appmodel::marzullo_max_arbitrary(n);
+  op.handle_triggered_window([thermostat, f, uncertainty](
+                                 const std::vector<StreamWindow>& w,
+                                 TriggerContext& ctx) {
+    // One interval per sensor: [min, max] of its window widened by the
+    // sensor's accuracy, fused with Marzullo's algorithm.
+    std::vector<appmodel::Interval> readings;
+    for (const StreamWindow& sw : w) {
+      if (sw.events.empty()) continue;
+      double lo = sw.events.front().value, hi = lo;
+      for (const auto& e : sw.events) {
+        lo = std::min(lo, e.value);
+        hi = std::max(hi, e.value);
+      }
+      readings.push_back({lo - uncertainty, hi + uncertainty});
+    }
+    auto fused = appmodel::marzullo_fuse(readings, f);
+    if (fused) ctx.actuate(thermostat, (fused->lo + fused->hi) / 2.0);
+  });
+  return app.build();
+}
+
+const std::vector<CatalogEntry>& table1_catalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {"Occupancy-based HVAC", "Set thermostat set-point from occupancy",
+       "Occupancy", "Efficiency", Guarantee::kGap},
+      {"User-based HVAC", "Set-point from user's clothing level", "Camera",
+       "Efficiency", Guarantee::kGap},
+      {"Automated lighting", "Turn on lights if user is present",
+       "Occupancy, camera, microphone", "Convenience", Guarantee::kGap},
+      {"Appliance alert", "Alert if appliance left on while unoccupied",
+       "Appliance, whole-house energy", "Efficiency", Guarantee::kGap},
+      {"Activity tracking", "Infer physical activity from microphone",
+       "Microphone", "Convenience", Guarantee::kGap},
+      {"Fall alert", "Alert on a fall-detected event", "Wearables",
+       "Elder care", Guarantee::kGapless},
+      {"Inactive alert", "Alert if motion/activity not detected",
+       "Motion, door-open", "Elder care", Guarantee::kGapless},
+      {"Flood/fire alert", "Alert on water (or fire) detection",
+       "Water, smoke", "Safety", Guarantee::kGapless},
+      {"Intrusion-detection", "Record image/alert on door/window-open",
+       "Door-window", "Safety", Guarantee::kGapless},
+      {"Energy billing", "Update energy cost on power events",
+       "Whole-house power", "Billing", Guarantee::kGapless},
+      {"Temperature-based HVAC", "Actuate HVAC on temperature thresholds",
+       "Temperature", "Efficiency", Guarantee::kGapless},
+      {"Air (or light) monitoring", "Alert if CO2/CO surpasses threshold",
+       "CO, CO2", "Safety", Guarantee::kGapless},
+      {"Surveillance", "Record image if it has an unknown object", "Camera",
+       "Safety", Guarantee::kGapless},
+  };
+  return kCatalog;
+}
+
+}  // namespace riv::workload::apps

@@ -1,0 +1,89 @@
+// The application catalog of Table 1, plus the paper's running examples.
+//
+// Every application from the paper's survey is implemented as a factory
+// returning a deployable AppGraph, with the delivery guarantee Table 1
+// mandates. The handlers are deliberately simple (threshold checks,
+// presence inference, Marzullo fusion) — the paper's apps are stateless
+// stream transformations, and what Rivulet contributes is *delivery and
+// execution fault tolerance*, which these graphs exercise fully.
+#pragma once
+
+#include <vector>
+
+#include "appmodel/graph.hpp"
+
+namespace riv::workload::apps {
+
+using appmodel::AppGraph;
+using appmodel::Guarantee;
+
+// --- Table 1, Gap applications --------------------------------------------
+
+// Set the thermostat set-point based on occupancy [PreHeat].
+AppGraph occupancy_hvac(AppId id, std::vector<SensorId> occupancy,
+                        ActuatorId thermostat, Duration window);
+// Set-point from the user's clothing level seen by a camera [SPOT].
+AppGraph user_hvac(AppId id, SensorId camera, ActuatorId thermostat);
+// Turn on lights when a user is present (occupancy OR camera OR mic).
+AppGraph automated_lighting(AppId id, SensorId occupancy, SensorId camera,
+                            SensorId microphone, ActuatorId light);
+// Alert when an appliance is on while the home is unoccupied.
+AppGraph appliance_alert(AppId id, SensorId appliance_energy,
+                         SensorId occupancy, ActuatorId notifier,
+                         Duration window, double on_threshold_watts);
+// Periodically infer physical activity from microphone frames [SymPhoney].
+AppGraph activity_tracking(AppId id, SensorId microphone,
+                           ActuatorId notifier, std::size_t frames);
+
+// --- Table 1, Gapless applications ----------------------------------------
+
+// Alert caregivers on a fall-detected event from a wearable [iFall].
+AppGraph fall_alert(AppId id, SensorId wearable, ActuatorId notifier);
+// Alert when no motion/door activity is seen in a window [Slip&Fall].
+AppGraph inactive_alert(AppId id, SensorId motion, SensorId door,
+                        ActuatorId notifier, Duration window);
+// Alert on water or smoke detection.
+AppGraph flood_fire_alert(AppId id, SensorId water, SensorId smoke,
+                          ActuatorId notifier);
+// Listing 1: siren on any door-open; tolerates n-1 door-sensor failures.
+AppGraph intrusion_detection(AppId id, std::vector<SensorId> doors,
+                             ActuatorId siren);
+// Update the energy cost on every power-consumption event.
+AppGraph energy_billing(AppId id, SensorId power, ActuatorId display,
+                        Duration window, double price_per_kwh);
+// Actuate heating/cooling when a polled temperature crosses thresholds.
+AppGraph temperature_hvac(AppId id, SensorId temperature, ActuatorId hvac,
+                          Duration epoch, double heat_below,
+                          double cool_above);
+// Alert when CO2 crosses a threshold.
+AppGraph air_monitoring(AppId id, SensorId co2, ActuatorId notifier,
+                        Duration epoch, double threshold);
+// Record camera frames containing an unknown object.
+AppGraph surveillance(AppId id, SensorId camera, ActuatorId recorder,
+                      double unknown_threshold);
+
+// --- Running examples -------------------------------------------------------
+
+// §3.2: DoorSensor => TurnLightOnOff => LightActuator.
+AppGraph turn_light_on_off(AppId id, SensorId door, ActuatorId light,
+                           Guarantee guarantee = Guarantee::kGapless);
+// Listing 2: Marzullo-fused average of n temperature sensors every second,
+// tolerating floor((n-1)/3) arbitrary sensor faults; drives a thermostat.
+// `uncertainty` is the per-sensor accuracy half-width that turns each
+// window's [min, max] into the interval reading Marzullo fuses.
+AppGraph temperature_averaging(AppId id, std::vector<SensorId> temperatures,
+                               ActuatorId thermostat, Duration window,
+                               double uncertainty = 0.5);
+
+// --- Table 1 metadata (for printing the catalog) ----------------------------
+
+struct CatalogEntry {
+  const char* name;
+  const char* primary_function;
+  const char* sensor_type;
+  const char* category;
+  Guarantee guarantee;
+};
+const std::vector<CatalogEntry>& table1_catalog();
+
+}  // namespace riv::workload::apps

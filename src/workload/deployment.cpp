@@ -1,0 +1,79 @@
+#include "workload/deployment.hpp"
+
+#include "common/assert.hpp"
+
+namespace riv::workload {
+
+HomeDeployment::HomeDeployment(Options options)
+    : sim_(options.seed),
+      net_(sim_, metrics_, options.wifi),
+      bus_(sim_),
+      config_(options.config) {
+  RIV_ASSERT(options.n_processes >= 1, "need at least one process");
+  for (int i = 0; i < options.n_processes; ++i) {
+    ProcessId p{static_cast<std::uint16_t>(i + 1)};
+    processes_.push_back(p);
+    // Every host gets every adapter by default; which devices a host can
+    // reach is controlled by link wiring, which is what experiments vary.
+    bus_.add_adapter(p, devices::Technology::kIp);
+    bus_.add_adapter(p, devices::Technology::kZWave);
+    bus_.add_adapter(p, devices::Technology::kZigbee);
+    bus_.add_adapter(p, devices::Technology::kBle);
+  }
+  for (ProcessId p : processes_) {
+    procs_.push_back(std::make_unique<core::RivuletProcess>(
+        sim_, net_, bus_, p, processes_, config_, metrics_));
+  }
+}
+
+HomeDeployment::~HomeDeployment() = default;
+
+ProcessId HomeDeployment::pid(int index) const {
+  RIV_ASSERT(index >= 0 &&
+                 index < static_cast<int>(processes_.size()),
+             "process index out of range");
+  return processes_[static_cast<std::size_t>(index)];
+}
+
+devices::Sensor& HomeDeployment::add_sensor(
+    const devices::SensorSpec& spec, const std::vector<ProcessId>& linked,
+    devices::LinkParams params) {
+  devices::Sensor& s = bus_.add_sensor(spec);
+  for (ProcessId p : linked) bus_.link_sensor(spec.id, p, params);
+  return s;
+}
+
+devices::Actuator& HomeDeployment::add_actuator(
+    const devices::ActuatorSpec& spec, const std::vector<ProcessId>& linked) {
+  devices::Actuator& a = bus_.add_actuator(spec);
+  for (ProcessId p : linked) bus_.link_actuator(spec.id, p);
+  return a;
+}
+
+void HomeDeployment::deploy(appmodel::AppGraph graph) {
+  auto shared =
+      std::make_shared<const appmodel::AppGraph>(std::move(graph));
+  for (auto& proc : procs_) proc->deploy(shared);
+}
+
+void HomeDeployment::start() {
+  for (auto& proc : procs_) proc->start();
+  bus_.start_all();
+}
+
+core::RivuletProcess& HomeDeployment::process(ProcessId p) {
+  for (auto& proc : procs_) {
+    if (proc->id() == p) return *proc;
+  }
+  RIV_ASSERT(false, "unknown process");
+  return *procs_.front();
+}
+
+core::RivuletProcess* HomeDeployment::active_logic_process(AppId app) {
+  for (auto& proc : procs_) {
+    if (proc->up() && proc->logic_active(app)) return proc.get();
+  }
+  return nullptr;
+}
+
+}  // namespace riv::workload

@@ -1,0 +1,179 @@
+#include "workload/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace riv::workload {
+
+double distance_m(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+namespace {
+
+double cross(Point o, Point a, Point b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+int sign(double v) { return v > 1e-12 ? 1 : (v < -1e-12 ? -1 : 0); }
+
+}  // namespace
+
+bool segments_intersect(Point a1, Point a2, Point b1, Point b2) {
+  int d1 = sign(cross(b1, b2, a1));
+  int d2 = sign(cross(b1, b2, a2));
+  int d3 = sign(cross(a1, a2, b1));
+  int d4 = sign(cross(a1, a2, b2));
+  return d1 * d2 < 0 && d3 * d4 < 0;
+}
+
+void HomeTopology::add_host(HostPlacement host) {
+  hosts_.push_back(std::move(host));
+}
+
+void HomeTopology::add_wall(Wall wall) { walls_.push_back(wall); }
+
+void HomeTopology::place_sensor(SensorId sensor, Point position) {
+  DevicePlacement d;
+  d.sensor = sensor;
+  d.position = position;
+  devices_.push_back(d);
+}
+
+void HomeTopology::place_actuator(ActuatorId actuator, Point position) {
+  DevicePlacement d;
+  d.actuator = actuator;
+  d.position = position;
+  devices_.push_back(d);
+}
+
+int HomeTopology::walls_between(Point a, Point b) const {
+  int count = 0;
+  for (const Wall& wall : walls_) {
+    if (segments_intersect(a, b, wall.a, wall.b)) ++count;
+  }
+  return count;
+}
+
+LinkEstimate HomeTopology::estimate(Point device_pos,
+                                    const HostPlacement& host,
+                                    devices::Technology tech) const {
+  const devices::TechProfile& prof = devices::profile(tech);
+  LinkEstimate est;
+  est.distance = distance_m(device_pos, host.position);
+
+  if (host.adapters.count(tech) == 0) return est;  // no radio: unreachable
+
+  // Effective range shrinks per crossed wall, weighted by attenuation.
+  double wall_weight = 0.0;
+  for (const Wall& wall : walls_) {
+    if (segments_intersect(device_pos, host.position, wall.a, wall.b)) {
+      ++est.walls_crossed;
+      wall_weight += wall.attenuation;
+    }
+  }
+  double range = prof.range_m *
+                 std::max(0.05, 1.0 - model_.per_wall_range_penalty *
+                                          wall_weight);
+  if (est.distance > range) return est;
+
+  est.in_range = true;
+  double edge = std::pow(est.distance / range, model_.edge_exponent);
+  est.loss_prob = std::min(
+      0.95, prof.loss_floor + model_.per_wall_loss * wall_weight +
+                model_.edge_loss * edge);
+  return est;
+}
+
+Point HomeTopology::device_position(SensorId sensor) const {
+  for (const DevicePlacement& d : devices_) {
+    if (d.sensor == sensor) return d.position;
+  }
+  RIV_ASSERT(false, "sensor was never placed");
+  return {};
+}
+
+Point HomeTopology::device_position(ActuatorId actuator) const {
+  for (const DevicePlacement& d : devices_) {
+    if (d.actuator == actuator) return d.position;
+  }
+  RIV_ASSERT(false, "actuator was never placed");
+  return {};
+}
+
+std::vector<std::pair<ProcessId, LinkEstimate>>
+HomeTopology::reachable_hosts(SensorId sensor,
+                              devices::Technology tech) const {
+  std::vector<std::pair<ProcessId, LinkEstimate>> out;
+  Point pos = device_position(sensor);
+  for (const HostPlacement& host : hosts_) {
+    LinkEstimate est = estimate(pos, host, tech);
+    if (est.in_range) out.emplace_back(host.process, est);
+  }
+  return out;
+}
+
+std::vector<std::pair<ProcessId, LinkEstimate>>
+HomeTopology::reachable_hosts(ActuatorId actuator,
+                              devices::Technology tech) const {
+  std::vector<std::pair<ProcessId, LinkEstimate>> out;
+  Point pos = device_position(actuator);
+  for (const HostPlacement& host : hosts_) {
+    LinkEstimate est = estimate(pos, host, tech);
+    if (est.in_range) out.emplace_back(host.process, est);
+  }
+  return out;
+}
+
+void HomeTopology::wire(devices::HomeBus& bus) const {
+  for (const HostPlacement& host : hosts_) {
+    for (devices::Technology tech : host.adapters)
+      bus.add_adapter(host.process, tech);
+  }
+  for (const DevicePlacement& d : devices_) {
+    if (d.sensor) {
+      devices::Technology tech = bus.sensor(*d.sensor).spec().tech;
+      for (const auto& [process, est] :
+           reachable_hosts(*d.sensor, tech)) {
+        devices::LinkParams params;
+        params.loss_prob = est.loss_prob;
+        bus.link_sensor(*d.sensor, process, params);
+      }
+    } else if (d.actuator) {
+      devices::Technology tech = bus.actuator(*d.actuator).spec().tech;
+      for (const auto& [process, est] :
+           reachable_hosts(*d.actuator, tech)) {
+        bus.link_actuator(*d.actuator, process, est.loss_prob);
+      }
+    }
+  }
+}
+
+HomeTopology sample_home(std::vector<ProcessId> processes) {
+  RIV_ASSERT(processes.size() >= 3, "sample home expects >= 3 hosts");
+  HomeTopology topo;
+  devices::AdapterSet all = {
+      devices::Technology::kIp, devices::Technology::kZWave,
+      devices::Technology::kZigbee, devices::Technology::kBle};
+  // A 16 m x 10 m floor plan: hallway in the middle, living room left,
+  // kitchen right, bedrooms top.
+  topo.add_host({processes[0], "hub(hallway)", {8.0, 4.0}, all});
+  topo.add_host({processes[1], "tv(living-room)", {2.5, 3.0}, all});
+  topo.add_host({processes[2], "fridge(kitchen)", {14.0, 3.0}, all});
+  if (processes.size() > 3)
+    topo.add_host({processes[3], "washer(utility)", {15.0, 9.0}, all});
+  if (processes.size() > 4)
+    topo.add_host({processes[4], "speaker(bedroom)", {3.0, 9.0}, all});
+
+  // Interior walls (light) and one concrete partition near the utility
+  // room (heavy — the paper's "concrete slab" effect).
+  topo.add_wall({{6.0, 0.0}, {6.0, 6.0}, 1.0});    // living room | hallway
+  topo.add_wall({{11.0, 0.0}, {11.0, 6.0}, 1.0});  // hallway | kitchen
+  topo.add_wall({{0.0, 6.0}, {16.0, 6.0}, 1.0});   // ground | bedrooms
+  topo.add_wall({{12.5, 6.0}, {12.5, 10.0}, 2.5}); // concrete partition
+  return topo;
+}
+
+}  // namespace riv::workload

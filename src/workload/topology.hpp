@@ -1,0 +1,118 @@
+// Physical home topology: geometry-driven link wiring.
+//
+// §2.1 attributes sensor-process link quality to physical placement —
+// range limits per radio technology (Zigbee 10-20 m, Z-Wave 40 m, BLE
+// 100 m), concrete-slab floors, copper siding, walls, interference. This
+// module models a home as hosts and devices at 2D positions with
+// attenuating walls between rooms, and derives, for every (device, host)
+// pair:
+//   * whether a link exists at all (inside the technology's range after
+//     wall penalties), and
+//   * the link's loss probability (a distance + wall loss model anchored
+//     at the technology's loss floor).
+// HomeTopology::wire() then performs all the HomeBus link wiring, so a
+// study like Fig 1's falls out of geometry instead of hand-set loss rates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/home_bus.hpp"
+
+namespace riv::workload {
+
+struct Point {
+  double x{0.0};
+  double y{0.0};
+};
+
+double distance_m(Point a, Point b);
+
+// A wall segment with an attenuation factor: crossing it both shortens
+// the effective radio range and raises loss. attenuation 1.0 models a
+// light interior wall; concrete or copper-sided walls go higher.
+struct Wall {
+  Point a{};
+  Point b{};
+  double attenuation{1.0};
+};
+
+// True iff segments (a1,a2) and (b1,b2) properly intersect.
+bool segments_intersect(Point a1, Point a2, Point b1, Point b2);
+
+struct HostPlacement {
+  ProcessId process{};
+  std::string name;
+  Point position{};
+  devices::AdapterSet adapters;  // radios this host carries
+};
+
+struct DevicePlacement {
+  // Exactly one of sensor/actuator is meaningful per entry.
+  std::optional<SensorId> sensor;
+  std::optional<ActuatorId> actuator;
+  Point position{};
+};
+
+struct LinkEstimate {
+  bool in_range{false};
+  double loss_prob{0.0};
+  int walls_crossed{0};
+  double distance{0.0};
+};
+
+class HomeTopology {
+ public:
+  // Loss model knobs; defaults reproduce home-scale behaviour (a few
+  // percent loss per wall, steep degradation near the range edge).
+  struct Model {
+    double per_wall_loss{0.035};       // added loss per crossed wall
+    double per_wall_range_penalty{0.25};  // range shrinks 25% per wall
+    double edge_exponent{2.0};         // loss ramps as (d/range)^e
+    double edge_loss{0.30};            // loss at the very range edge
+  };
+
+  HomeTopology() = default;
+  explicit HomeTopology(Model model) : model_(model) {}
+
+  void add_host(HostPlacement host);
+  void add_wall(Wall wall);
+  void place_sensor(SensorId sensor, Point position);
+  void place_actuator(ActuatorId actuator, Point position);
+
+  int walls_between(Point a, Point b) const;
+
+  // Link estimate for a device of technology `tech` at `device_pos` as
+  // heard by `host`.
+  LinkEstimate estimate(Point device_pos, const HostPlacement& host,
+                        devices::Technology tech) const;
+
+  // Hosts that can hear the given placed sensor/actuator.
+  std::vector<std::pair<ProcessId, LinkEstimate>> reachable_hosts(
+      SensorId sensor, devices::Technology tech) const;
+  std::vector<std::pair<ProcessId, LinkEstimate>> reachable_hosts(
+      ActuatorId actuator, devices::Technology tech) const;
+
+  // Wire every placed device into the bus: links (with the estimated loss)
+  // for every in-range host that carries the right adapter. Devices must
+  // already have been added to the bus; hosts' adapters are registered.
+  void wire(devices::HomeBus& bus) const;
+
+  const std::vector<HostPlacement>& hosts() const { return hosts_; }
+
+ private:
+  Point device_position(SensorId sensor) const;
+  Point device_position(ActuatorId actuator) const;
+
+  Model model_{};
+  std::vector<HostPlacement> hosts_;
+  std::vector<Wall> walls_;
+  std::vector<DevicePlacement> devices_;
+};
+
+// A ready-made three-bedroom home: hub in the hallway, TV in the living
+// room, fridge in the kitchen, interior walls plus one concrete partition.
+HomeTopology sample_home(std::vector<ProcessId> processes);
+
+}  // namespace riv::workload

@@ -1,0 +1,138 @@
+// Tests for the baseline comparators used in §8's figures.
+#include <gtest/gtest.h>
+
+#include "baseline/broadcast_delivery.hpp"
+#include "baseline/uncoordinated_polling.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv::baseline {
+namespace {
+
+using workload::HomeDeployment;
+
+devices::SensorSpec push_sensor(double rate_hz) {
+  devices::SensorSpec spec;
+  spec.id = SensorId{1};
+  spec.name = "s";
+  spec.tech = devices::Technology::kIp;
+  spec.rate_hz = rate_hz;
+  spec.payload_size = 4;
+  return spec;
+}
+
+TEST(BroadcastDelivery, EveryProcessLearnsEveryEvent) {
+  HomeDeployment::Options opt;
+  opt.seed = 61;
+  opt.n_processes = 4;
+  HomeDeployment home(opt);
+  home.add_sensor(push_sensor(10.0), {home.pid(1)});
+  std::vector<std::unique_ptr<BroadcastDeliveryNode>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_unique<BroadcastDeliveryNode>(
+        home.net(), home.bus(), home.pid(i), home.processes(), i == 0));
+    nodes.back()->start();
+  }
+  home.bus().start_all();
+  home.run_for(seconds(10));
+  std::uint64_t emitted = home.bus().sensor(SensorId{1}).events_emitted();
+  EXPECT_GE(nodes[0]->delivered_to_app() + 1, emitted);
+}
+
+TEST(BroadcastDelivery, SingleReceiverBroadcastsOncePerEvent) {
+  HomeDeployment::Options opt;
+  opt.seed = 62;
+  opt.n_processes = 5;
+  HomeDeployment home(opt);
+  home.add_sensor(push_sensor(10.0), {home.pid(1)});
+  std::vector<std::unique_ptr<BroadcastDeliveryNode>> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<BroadcastDeliveryNode>(
+        home.net(), home.bus(), home.pid(i), home.processes(), i == 0));
+    nodes.back()->start();
+  }
+  home.bus().start_all();
+  home.run_for(seconds(10));
+  std::uint64_t emitted = home.bus().sensor(SensorId{1}).events_emitted();
+  // 1 broadcast x (n-1) frames per event.
+  EXPECT_NEAR(static_cast<double>(
+                  home.metrics().counter_value("net.msgs.rb_event")),
+              static_cast<double>(emitted * 4), 8.0);
+}
+
+TEST(BroadcastDelivery, MReceiversCostMTimesNMessages) {
+  // §8.2's complaint about naive broadcast: m receivers each broadcast
+  // (they all hear the sensor before any broadcast arrives).
+  HomeDeployment::Options opt;
+  opt.seed = 63;
+  opt.n_processes = 5;
+  HomeDeployment home(opt);
+  home.add_sensor(push_sensor(10.0),
+                  {home.pid(1), home.pid(2), home.pid(3)});
+  std::vector<std::unique_ptr<BroadcastDeliveryNode>> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<BroadcastDeliveryNode>(
+        home.net(), home.bus(), home.pid(i), home.processes(), i == 0));
+    nodes.back()->start();
+  }
+  home.bus().start_all();
+  home.run_for(seconds(10));
+  std::uint64_t emitted = home.bus().sensor(SensorId{1}).events_emitted();
+  double per_event = static_cast<double>(home.metrics().counter_value(
+                         "net.msgs.rb_event")) /
+                     static_cast<double>(emitted);
+  EXPECT_GT(per_event, 10.0);  // ~3 x 4 = 12 frames per event
+}
+
+TEST(UncoordinatedPoller, PollsOncePerEpochWhenAlone) {
+  HomeDeployment::Options opt;
+  opt.seed = 64;
+  opt.n_processes = 1;
+  HomeDeployment home(opt);
+  devices::SensorSpec spec = push_sensor(0.0);
+  spec.push = false;
+  spec.poll_latency = milliseconds(100);
+  home.add_sensor(spec, {home.pid(0)});
+  UncoordinatedPoller poller(home.sim(), home.bus(), home.pid(0),
+                             SensorId{1}, seconds(5),
+                             home.sim().rng().fork(1));
+  home.bus().subscribe(home.pid(0), [&](const devices::SensorEvent& e) {
+    poller.on_device_event(e);
+  });
+  poller.start();
+  home.run_for(seconds(100));
+  EXPECT_NEAR(static_cast<double>(poller.polls_issued()), 19.0, 2.0);
+}
+
+TEST(UncoordinatedPoller, CancelsWhenEventAlreadySeen) {
+  HomeDeployment::Options opt;
+  opt.seed = 65;
+  opt.n_processes = 2;
+  HomeDeployment home(opt);
+  devices::SensorSpec spec = push_sensor(0.0);
+  spec.push = false;
+  spec.poll_latency = milliseconds(50);
+  home.add_sensor(spec, {home.pid(0), home.pid(1)});
+  std::vector<std::unique_ptr<UncoordinatedPoller>> pollers;
+  for (int p = 0; p < 2; ++p) {
+    pollers.push_back(std::make_unique<UncoordinatedPoller>(
+        home.sim(), home.bus(), home.pid(p), SensorId{1}, seconds(5),
+        home.sim().rng().fork(static_cast<std::uint64_t>(p))));
+  }
+  // Both processes see every response instantly: maximal cancellation.
+  for (int p = 0; p < 2; ++p) {
+    home.bus().subscribe(home.pid(p), [&](const devices::SensorEvent& e) {
+      for (auto& poller : pollers) poller->on_device_event(e);
+    });
+  }
+  for (auto& poller : pollers) poller->start();
+  home.run_for(seconds(100));
+  std::uint64_t total =
+      pollers[0]->polls_issued() + pollers[1]->polls_issued();
+  // ~19 epochs; with instant sharing the overlap window is the 50 ms poll
+  // latency, so the second poll is almost always cancelled.
+  EXPECT_LT(total, 25u);
+  EXPECT_GE(total, 19u);
+}
+
+}  // namespace
+}  // namespace riv::baseline

@@ -1,0 +1,168 @@
+// Unit tests for the common substrate: wire codec, RNG, time arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace riv {
+namespace {
+
+TEST(Time, ArithmeticAndConversions) {
+  EXPECT_EQ(seconds(2).us, 2'000'000);
+  EXPECT_EQ(milliseconds(3).us, 3000);
+  EXPECT_EQ(minutes(1).us, 60'000'000);
+  EXPECT_EQ(days(1).us, 86'400'000'000LL);
+  TimePoint t{1'000'000};
+  EXPECT_EQ((t + seconds(1)).us, 2'000'000);
+  EXPECT_EQ((TimePoint{5'000'000} - t).us, 4'000'000);
+  EXPECT_DOUBLE_EQ(seconds(5).seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).millis(), 1500.0);
+  EXPECT_LT(t, TimePoint{2'000'000});
+  EXPECT_EQ(seconds_f(0.5).us, 500'000);
+}
+
+TEST(Types, StrongIdsCompareAndHash) {
+  EXPECT_EQ(ProcessId{3}, ProcessId{3});
+  EXPECT_NE(SensorId{1}, SensorId{2});
+  EXPECT_LT(ProcessId{1}, ProcessId{2});
+  EventId a{SensorId{1}, 5}, b{SensorId{1}, 6};
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<EventId>{}(a), std::hash<EventId>{}(b));
+  EXPECT_EQ(to_string(ProcessId{7}), "p7");
+  EXPECT_EQ(to_string(EventId{SensorId{2}, 9}), "s2#9");
+}
+
+TEST(Codec, PrimitiveRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("rivulet");
+  std::vector<std::byte> raw = {std::byte{1}, std::byte{2}};
+  w.bytes(raw);
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "rivulet");
+  EXPECT_EQ(r.bytes(), raw);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, IdAndTimeRoundTrip) {
+  BinaryWriter w;
+  w.process_id(ProcessId{12});
+  w.sensor_id(SensorId{34});
+  w.actuator_id(ActuatorId{56});
+  w.event_id(EventId{SensorId{7}, 99});
+  w.command_id(CommandId{ProcessId{2}, 1000});
+  w.time_point(TimePoint{123456789});
+  w.duration(milliseconds(250));
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.process_id(), ProcessId{12});
+  EXPECT_EQ(r.sensor_id(), SensorId{34});
+  EXPECT_EQ(r.actuator_id(), ActuatorId{56});
+  EXPECT_EQ(r.event_id(), (EventId{SensorId{7}, 99}));
+  EXPECT_EQ(r.command_id(), (CommandId{ProcessId{2}, 1000}));
+  EXPECT_EQ(r.time_point(), TimePoint{123456789});
+  EXPECT_EQ(r.duration(), milliseconds(250));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Codec, OpaquePaddingCountsTowardSize) {
+  BinaryWriter w;
+  w.u8(1);
+  w.opaque(1000);
+  EXPECT_EQ(w.size(), 1001u);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  r.skip_opaque(1000);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, OutOfBoundsReadSetsErrorFlag) {
+  BinaryWriter w;
+  w.u16(7);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_EQ(r.u32(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, TruncatedStringFailsGracefully) {
+  BinaryWriter w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.uniform_int(17), 17u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.exponential(100.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 100.0, 5.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(9);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c1.next() == c2.next();
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace riv

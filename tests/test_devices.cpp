@@ -1,0 +1,370 @@
+// Unit tests for the device substrate: sensors (push/poll, multicast,
+// loss, one-outstanding-poll), actuators (idempotent, Test&Set), event
+// codec, adapters, and the HomeBus wiring layer.
+#include <gtest/gtest.h>
+
+#include "devices/home_bus.hpp"
+
+namespace riv::devices {
+namespace {
+
+SensorSpec ip_push_sensor(std::uint16_t id, double rate_hz = 10.0) {
+  SensorSpec spec;
+  spec.id = SensorId{id};
+  spec.name = "s" + std::to_string(id);
+  spec.kind = SensorKind::kTemperature;
+  spec.tech = Technology::kIp;
+  spec.push = true;
+  spec.payload_size = 4;
+  spec.rate_hz = rate_hz;
+  return spec;
+}
+
+SensorSpec zwave_poll_sensor(std::uint16_t id,
+                             Duration latency = milliseconds(500)) {
+  SensorSpec spec;
+  spec.id = SensorId{id};
+  spec.name = "poll" + std::to_string(id);
+  spec.kind = SensorKind::kTemperature;
+  spec.tech = Technology::kZWave;
+  spec.push = false;
+  spec.payload_size = 4;
+  spec.poll_latency = latency;
+  spec.poll_jitter = 0.0;
+  return spec;
+}
+
+TEST(EventCodec, RoundTripLargePayload) {
+  SensorEvent e;
+  e.id = {SensorId{3}, 42};
+  e.epoch = 7;
+  e.emitted_at = TimePoint{123456};
+  e.poll_based = true;
+  e.value = 21.75;
+  e.payload_size = 20000;  // camera frame
+  BinaryWriter w;
+  encode(w, e);
+  EXPECT_EQ(w.size(), e.wire_size());
+  BinaryReader r(w.data());
+  SensorEvent d = decode_event(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(d.id, e.id);
+  EXPECT_EQ(d.epoch, 7u);
+  EXPECT_EQ(d.emitted_at, e.emitted_at);
+  EXPECT_TRUE(d.poll_based);
+  EXPECT_DOUBLE_EQ(d.value, 21.75);
+  EXPECT_EQ(d.payload_size, 20000u);
+}
+
+TEST(EventCodec, SmallPayloadQuantizesToMilliUnits) {
+  for (std::uint32_t payload : {2u, 4u}) {
+    SensorEvent e;
+    e.id = {SensorId{1}, 1};
+    e.value = payload == 2 ? -3.2 : 21.734;
+    e.payload_size = payload;
+    BinaryWriter w;
+    encode(w, e);
+    EXPECT_EQ(w.size(), e.wire_size());
+    BinaryReader r(w.data());
+    SensorEvent d = decode_event(r);
+    EXPECT_NEAR(d.value, e.value, 0.001);
+  }
+}
+
+TEST(EventCodec, NegativeValueSignExtends) {
+  SensorEvent e;
+  e.id = {SensorId{1}, 1};
+  e.value = -40.0;  // cold snap
+  e.payload_size = 3;
+  BinaryWriter w;
+  encode(w, e);
+  BinaryReader r(w.data());
+  EXPECT_NEAR(decode_event(r).value, -40.0, 0.001);
+}
+
+TEST(CommandCodec, RoundTrip) {
+  Command c;
+  c.id = {ProcessId{4}, 17};
+  c.actuator = ActuatorId{9};
+  c.test_and_set = true;
+  c.expected = 0.0;
+  c.value = 1.0;
+  c.issued_at = TimePoint{777};
+  BinaryWriter w;
+  encode(w, c);
+  EXPECT_EQ(w.size(), Command::kWireSize);
+  BinaryReader r(w.data());
+  Command d = decode_command(r);
+  EXPECT_EQ(d.id, c.id);
+  EXPECT_EQ(d.actuator, c.actuator);
+  EXPECT_TRUE(d.test_and_set);
+  EXPECT_DOUBLE_EQ(d.value, 1.0);
+}
+
+TEST(Adapters, ProfilesMatchPaperRanges) {
+  EXPECT_DOUBLE_EQ(profile(Technology::kZWave).range_m, 40.0);   // §2.1
+  EXPECT_DOUBLE_EQ(profile(Technology::kZigbee).range_m, 15.0);  // 10–20 m
+  EXPECT_DOUBLE_EQ(profile(Technology::kBle).range_m, 100.0);
+  EXPECT_TRUE(profile(Technology::kZWave).multicast);
+  EXPECT_FALSE(profile(Technology::kBle).multicast);  // single bonded host
+}
+
+struct BusFixture : ::testing::Test {
+  BusFixture() : sim(5), bus(sim) {
+    for (std::uint16_t i = 1; i <= 3; ++i) {
+      bus.add_adapter(ProcessId{i}, Technology::kIp);
+      bus.add_adapter(ProcessId{i}, Technology::kZWave);
+      bus.add_adapter(ProcessId{i}, Technology::kBle);
+    }
+  }
+  std::vector<SensorEvent> received[4];
+  void subscribe_all() {
+    for (std::uint16_t i = 1; i <= 3; ++i) {
+      bus.subscribe(ProcessId{i}, [this, i](const SensorEvent& e) {
+        received[i].push_back(e);
+      });
+    }
+  }
+  sim::Simulation sim;
+  HomeBus bus;
+};
+
+TEST_F(BusFixture, PushSensorMulticastsToAllLinkedProcesses) {
+  bus.add_sensor(ip_push_sensor(1));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  bus.link_sensor(SensorId{1}, ProcessId{2});
+  subscribe_all();
+  bus.sensor(SensorId{1}).start();
+  sim.run_for(seconds(1));
+  EXPECT_NEAR(received[1].size(), 10, 2);
+  EXPECT_NEAR(received[2].size(), 10, 2);
+  EXPECT_EQ(received[3].size(), 0u);  // not linked
+}
+
+TEST_F(BusFixture, PeriodicRateIsExact) {
+  bus.add_sensor(ip_push_sensor(1, 5.0));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  subscribe_all();
+  bus.sensor(SensorId{1}).start();
+  sim.run_for(seconds(10));
+  EXPECT_EQ(bus.sensor(SensorId{1}).events_emitted(), 50u);
+}
+
+TEST_F(BusFixture, LinkLossDropsIndependently) {
+  bus.add_sensor(ip_push_sensor(1, 100.0));
+  LinkParams lossy;
+  lossy.loss_prob = 0.5;
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  bus.link_sensor(SensorId{1}, ProcessId{2}, lossy);
+  subscribe_all();
+  bus.sensor(SensorId{1}).start();
+  sim.run_for(seconds(20));
+  double clean = static_cast<double>(received[1].size());
+  double lossy_count = static_cast<double>(received[2].size());
+  EXPECT_NEAR(lossy_count / clean, 0.5, 0.06);
+}
+
+TEST_F(BusFixture, BleSensorReachesOnlyBondedProcess) {
+  SensorSpec spec = ip_push_sensor(1);
+  spec.tech = Technology::kBle;
+  bus.add_sensor(spec);
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  bus.link_sensor(SensorId{1}, ProcessId{2});
+  subscribe_all();
+  bus.sensor(SensorId{1}).start();
+  sim.run_for(seconds(1));
+  EXPECT_GT(received[1].size(), 0u);
+  EXPECT_EQ(received[2].size(), 0u);  // BLE is not multicast
+}
+
+TEST_F(BusFixture, PollRespondsOnlyToRequester) {
+  bus.add_sensor(zwave_poll_sensor(1));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  bus.link_sensor(SensorId{1}, ProcessId{2});
+  subscribe_all();
+  bus.poll(ProcessId{1}, SensorId{1}, 7);
+  sim.run_for(seconds(2));
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(received[1][0].epoch, 7u);
+  EXPECT_TRUE(received[1][0].poll_based);
+  EXPECT_EQ(received[2].size(), 0u);
+}
+
+TEST_F(BusFixture, ConcurrentPollsAreSilentlyDropped) {
+  bus.add_sensor(zwave_poll_sensor(1));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  bus.link_sensor(SensorId{1}, ProcessId{2});
+  subscribe_all();
+  bus.poll(ProcessId{1}, SensorId{1}, 1);
+  bus.poll(ProcessId{2}, SensorId{1}, 1);  // sensor is busy -> dropped
+  sim.run_for(seconds(2));
+  Sensor& s = bus.sensor(SensorId{1});
+  EXPECT_EQ(s.polls_received(), 2u);
+  EXPECT_EQ(s.polls_dropped(), 1u);
+  EXPECT_EQ(s.polls_served(), 1u);
+  EXPECT_EQ(received[1].size() + received[2].size(), 1u);
+}
+
+TEST_F(BusFixture, SequentialPollsBothServe) {
+  bus.add_sensor(zwave_poll_sensor(1, milliseconds(100)));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  subscribe_all();
+  bus.poll(ProcessId{1}, SensorId{1}, 1);
+  sim.run_for(seconds(1));
+  bus.poll(ProcessId{1}, SensorId{1}, 2);
+  sim.run_for(seconds(1));
+  EXPECT_EQ(received[1].size(), 2u);
+}
+
+TEST_F(BusFixture, CrashedSensorIgnoresPollsAndEmitsNothing) {
+  bus.add_sensor(zwave_poll_sensor(1));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  subscribe_all();
+  Sensor& s = bus.sensor(SensorId{1});
+  s.crash();
+  bus.poll(ProcessId{1}, SensorId{1}, 1);
+  sim.run_for(seconds(2));
+  EXPECT_EQ(received[1].size(), 0u);
+  EXPECT_EQ(s.polls_received(), 0u);
+}
+
+TEST_F(BusFixture, SensorRecoversAndResumesPush) {
+  bus.add_sensor(ip_push_sensor(1, 10.0));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  subscribe_all();
+  Sensor& s = bus.sensor(SensorId{1});
+  s.start();
+  sim.run_for(seconds(1));
+  std::size_t before = received[1].size();
+  s.crash();
+  sim.run_for(seconds(1));
+  EXPECT_EQ(received[1].size(), before);  // silent while crashed
+  s.recover();
+  sim.run_for(seconds(1));
+  EXPECT_GT(received[1].size(), before);
+}
+
+TEST_F(BusFixture, BinarySensorAlternates) {
+  SensorSpec spec = ip_push_sensor(1, 10.0);
+  spec.kind = SensorKind::kDoor;
+  bus.add_sensor(spec);
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  subscribe_all();
+  bus.sensor(SensorId{1}).start();
+  sim.run_for(seconds(1));
+  ASSERT_GE(received[1].size(), 4u);
+  for (std::size_t i = 1; i < received[1].size(); ++i)
+    EXPECT_NE(received[1][i].value, received[1][i - 1].value);
+}
+
+TEST_F(BusFixture, InRangeQueries) {
+  bus.add_sensor(ip_push_sensor(1));
+  bus.link_sensor(SensorId{1}, ProcessId{1});
+  EXPECT_TRUE(bus.sensor_in_range(ProcessId{1}, SensorId{1}));
+  EXPECT_FALSE(bus.sensor_in_range(ProcessId{2}, SensorId{1}));
+  auto procs = bus.processes_in_range(SensorId{1});
+  ASSERT_EQ(procs.size(), 1u);
+  EXPECT_EQ(procs[0], ProcessId{1});
+}
+
+// --- actuators ------------------------------------------------------------
+
+struct ActuatorFixture : ::testing::Test {
+  ActuatorFixture() : sim(9), bus(sim) {
+    bus.add_adapter(ProcessId{1}, Technology::kIp);
+    bus.add_adapter(ProcessId{2}, Technology::kIp);
+  }
+  ActuatorSpec light_spec(bool idempotent, bool tas) {
+    ActuatorSpec spec;
+    spec.id = ActuatorId{1};
+    spec.name = "light";
+    spec.tech = Technology::kIp;
+    spec.idempotent = idempotent;
+    spec.supports_test_and_set = tas;
+    return spec;
+  }
+  Command cmd(std::uint32_t seq, double value, bool tas = false,
+              double expected = 0.0) {
+    Command c;
+    c.id = {ProcessId{1}, seq};
+    c.actuator = ActuatorId{1};
+    c.value = value;
+    c.test_and_set = tas;
+    c.expected = expected;
+    return c;
+  }
+  sim::Simulation sim;
+  HomeBus bus;
+};
+
+TEST_F(ActuatorFixture, AppliesCommandAfterLatency) {
+  Actuator& a = bus.add_actuator(light_spec(true, false));
+  bus.link_actuator(ActuatorId{1}, ProcessId{1});
+  bus.actuate(ProcessId{1}, cmd(1, 1.0));
+  EXPECT_EQ(a.state(), 0.0);  // not yet
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.state(), 1.0);
+  EXPECT_EQ(a.actions(), 1u);
+}
+
+TEST_F(ActuatorFixture, DuplicateIdempotentIsHarmless) {
+  Actuator& a = bus.add_actuator(light_spec(true, false));
+  bus.link_actuator(ActuatorId{1}, ProcessId{1});
+  bus.link_actuator(ActuatorId{1}, ProcessId{2});
+  bus.actuate(ProcessId{1}, cmd(1, 1.0));
+  bus.actuate(ProcessId{2}, cmd(1, 1.0));  // same command via two processes
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.state(), 1.0);
+  EXPECT_EQ(a.duplicate_deliveries(), 1u);
+  EXPECT_EQ(a.unwarranted_actions(), 0u);
+}
+
+TEST_F(ActuatorFixture, DuplicateNonIdempotentWithoutTasIsUnwarranted) {
+  ActuatorSpec spec = light_spec(false, false);
+  spec.name = "water-dispenser";
+  Actuator& a = bus.add_actuator(spec);
+  bus.link_actuator(ActuatorId{1}, ProcessId{1});
+  bus.link_actuator(ActuatorId{1}, ProcessId{2});
+  bus.actuate(ProcessId{1}, cmd(1, 1.0));
+  bus.actuate(ProcessId{2}, cmd(1, 1.0));
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.unwarranted_actions(), 1u);  // double dispense!
+}
+
+TEST_F(ActuatorFixture, TestAndSetRejectsSecondApplication) {
+  ActuatorSpec spec = light_spec(false, true);
+  Actuator& a = bus.add_actuator(spec);
+  bus.link_actuator(ActuatorId{1}, ProcessId{1});
+  bus.link_actuator(ActuatorId{1}, ProcessId{2});
+  bus.actuate(ProcessId{1}, cmd(1, 1.0, true, 0.0));
+  bus.actuate(ProcessId{2}, cmd(1, 1.0, true, 0.0));
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.actions(), 1u);  // second T&S saw state already changed
+  EXPECT_EQ(a.rejected_test_and_set(), 1u);
+  EXPECT_EQ(a.unwarranted_actions(), 0u);
+}
+
+TEST_F(ActuatorFixture, CrashedActuatorDoesNotRespond) {
+  Actuator& a = bus.add_actuator(light_spec(true, false));
+  bus.link_actuator(ActuatorId{1}, ProcessId{1});
+  a.crash();
+  bus.actuate(ProcessId{1}, cmd(1, 1.0));
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.state(), 0.0);
+  EXPECT_EQ(a.actions(), 0u);
+  a.recover();
+  bus.actuate(ProcessId{1}, cmd(2, 1.0));
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.state(), 1.0);
+}
+
+TEST_F(ActuatorFixture, OutOfRangeSubmitIsIgnored) {
+  Actuator& a = bus.add_actuator(light_spec(true, false));
+  bus.link_actuator(ActuatorId{1}, ProcessId{1});
+  a.submit(ProcessId{2}, cmd(1, 1.0));  // p2 has no link
+  sim.run_for(seconds(1));
+  EXPECT_EQ(a.actions(), 0u);
+}
+
+}  // namespace
+}  // namespace riv::devices

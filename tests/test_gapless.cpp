@@ -1,0 +1,197 @@
+// End-to-end tests of the Gapless delivery protocol (§4.1): ring
+// replication, exactly-once delivery per process, loss masking, reliable
+// broadcast fallback, and successor sync.
+#include <gtest/gtest.h>
+
+#include "workload/apps.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv {
+namespace {
+
+using workload::HomeDeployment;
+
+devices::SensorSpec door_sensor(std::uint16_t id, double rate_hz) {
+  devices::SensorSpec spec;
+  spec.id = SensorId{id};
+  spec.name = "door";
+  spec.kind = devices::SensorKind::kDoor;
+  spec.tech = devices::Technology::kIp;
+  spec.push = true;
+  spec.payload_size = 4;
+  spec.rate_hz = rate_hz;
+  return spec;
+}
+
+devices::ActuatorSpec light_actuator(std::uint16_t id) {
+  devices::ActuatorSpec spec;
+  spec.id = ActuatorId{id};
+  spec.name = "light";
+  spec.tech = devices::Technology::kIp;
+  spec.idempotent = true;
+  return spec;
+}
+
+constexpr AppId kApp{1};
+constexpr SensorId kDoor{1};
+constexpr ActuatorId kLight{1};
+
+struct GaplessFixture : ::testing::Test {
+  // Home: n processes; door sensor reaches `receivers`; light actuator
+  // reaches p1 (which therefore wins placement on ties, as the chain
+  // tie-break prefers low ids).
+  std::unique_ptr<HomeDeployment> make_home(
+      int n, std::vector<int> receiver_indices, double loss = 0.0,
+      double rate_hz = 10.0, std::uint64_t seed = 17) {
+    HomeDeployment::Options opt;
+    opt.seed = seed;
+    opt.n_processes = n;
+    auto home = std::make_unique<HomeDeployment>(opt);
+    std::vector<ProcessId> receivers;
+    for (int i : receiver_indices) receivers.push_back(home->pid(i));
+    devices::LinkParams params;
+    params.loss_prob = loss;
+    home->add_sensor(door_sensor(kDoor.value, rate_hz), receivers, params);
+    home->add_actuator(light_actuator(kLight.value), {home->pid(0)});
+    home->deploy(workload::apps::turn_light_on_off(
+        kApp, kDoor, kLight, appmodel::Guarantee::kGapless));
+    return home;
+  }
+};
+
+TEST_F(GaplessFixture, LogicActivatesOnPlacementWinner) {
+  auto home = make_home(5, {1});
+  home->start();
+  home->run_for(seconds(2));
+  EXPECT_TRUE(home->process(0).logic_active(kApp));
+  for (int i = 1; i < 5; ++i)
+    EXPECT_FALSE(home->process(i).logic_active(kApp));
+}
+
+TEST_F(GaplessFixture, AllEventsDeliveredWithoutFailures) {
+  auto home = make_home(5, {1});
+  home->start();
+  home->run_for(seconds(20));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  ASSERT_GT(emitted, 150u);
+  // Allow for events still in flight at the horizon.
+  EXPECT_GE(home->process(0).delivered(kApp), emitted - 2);
+  EXPECT_LE(home->process(0).delivered(kApp), emitted);
+}
+
+TEST_F(GaplessFixture, EventReplicatedAtEveryProcessLog) {
+  auto home = make_home(5, {1});
+  home->start();
+  home->run_for(seconds(10));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  for (int i = 0; i < 5; ++i) {
+    core::EventLog* log = home->process(i).event_log(kApp);
+    ASSERT_NE(log, nullptr);
+    EXPECT_GE(log->size(kDoor), emitted - 3) << "process " << i;
+  }
+}
+
+TEST_F(GaplessFixture, RingUsesNMessagesPerEvent) {
+  auto home = make_home(5, {1});
+  home->start();
+  home->run_for(seconds(20));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  std::uint64_t ring_msgs = home->metrics().counter_value(
+      "net.msgs.ring_event");
+  // §4.1: n messages per event with n processes (no failures).
+  EXPECT_NEAR(static_cast<double>(ring_msgs) / static_cast<double>(emitted),
+              5.0, 0.3);
+  // The optimistic path should not trigger reliable broadcast.
+  EXPECT_EQ(home->metrics().counter_value("net.msgs.rb_event"), 0u);
+}
+
+TEST_F(GaplessFixture, MultipleReceiversStillNMessages) {
+  // §4.1: even when m processes receive the event directly, the ring needs
+  // only ~n messages, not m*n.
+  auto home = make_home(5, {1, 2, 3});
+  home->start();
+  home->run_for(seconds(20));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  std::uint64_t ring_msgs =
+      home->metrics().counter_value("net.msgs.ring_event");
+  EXPECT_LT(static_cast<double>(ring_msgs) / static_cast<double>(emitted),
+            6.5);
+  EXPECT_GE(home->process(0).delivered(kApp), emitted - 2);
+}
+
+TEST_F(GaplessFixture, ExactlyOnceDeliveryPerProcess) {
+  auto home = make_home(4, {1, 2, 3});
+  home->start();
+  home->run_for(seconds(20));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  // Delivered to the single active logic exactly once per event: total
+  // delivered across processes equals the active process's count and never
+  // exceeds emitted.
+  std::uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) total += home->process(i).delivered(kApp);
+  EXPECT_LE(total, emitted);
+  EXPECT_GE(total, emitted - 2);
+}
+
+TEST_F(GaplessFixture, MasksHeavyLinkLossWithMultipleReceivers) {
+  // 40% per-link loss on three receivers: ~6.4% of events are lost on all
+  // links; everything received anywhere must reach the app.
+  auto home = make_home(5, {1, 2, 3}, /*loss=*/0.4, /*rate=*/10.0);
+  home->start();
+  home->run_for(seconds(60));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  std::uint64_t received_anywhere = 0;
+  for (int i = 1; i <= 3; ++i) {
+    received_anywhere = std::max(
+        received_anywhere,
+        home->metrics().counter_value("ingest.p" + std::to_string(i + 1) +
+                                      ".s1"));
+  }
+  std::uint64_t delivered = home->process(0).delivered(kApp);
+  double ratio = static_cast<double>(delivered) /
+                 static_cast<double>(emitted);
+  EXPECT_GT(ratio, 0.90);  // ~1 - 0.4^3 = 0.936, minus horizon effects
+  EXPECT_GE(delivered, received_anywhere);  // at least every best-link event
+}
+
+TEST_F(GaplessFixture, LightActuatedByCommands) {
+  auto home = make_home(3, {1});
+  home->start();
+  home->run_for(seconds(10));
+  const devices::Actuator& light = home->bus().actuator(kLight);
+  EXPECT_GT(light.actions(), 50u);  // ~10 commands/s
+  EXPECT_EQ(light.unwarranted_actions(), 0u);
+}
+
+TEST_F(GaplessFixture, SingleProcessHomeDeliversLocally) {
+  // §4.1: must work with one process; the ring degenerates to local
+  // delivery with no messages.
+  auto home = make_home(1, {0});
+  home->start();
+  home->run_for(seconds(10));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  EXPECT_GE(home->process(0).delivered(kApp), emitted - 1);
+  EXPECT_EQ(home->metrics().counter_value("net.msgs.ring_event"), 0u);
+}
+
+TEST_F(GaplessFixture, TwoProcessHome) {
+  auto home = make_home(2, {1});
+  home->start();
+  home->run_for(seconds(10));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  EXPECT_GE(home->process(0).delivered(kApp), emitted - 2);
+}
+
+TEST_F(GaplessFixture, DeterministicAcrossRuns) {
+  std::uint64_t delivered[2];
+  for (int run = 0; run < 2; ++run) {
+    auto home = make_home(5, {1, 2}, 0.2, 10.0, /*seed=*/99);
+    home->start();
+    home->run_for(seconds(15));
+    delivered[run] = home->process(0).delivered(kApp);
+  }
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+}  // namespace
+}  // namespace riv

@@ -1,0 +1,229 @@
+// Unit tests of the GaplessStream state machine in isolation, driven
+// through a scripted StreamContext: ring-successor math, the exact §4.1
+// reliable-broadcast fallback condition (seen ∧ S≠V ∧ p_i∈S), re-flood
+// semantics, and successor sync re-sends.
+#include <gtest/gtest.h>
+
+#include "core/delivery/gapless_stream.hpp"
+
+namespace riv::core {
+namespace {
+
+struct Sent {
+  ProcessId dst;
+  net::MsgType type;
+  std::vector<std::byte> payload;
+};
+
+struct Harness {
+  explicit Harness(std::uint16_t self_id, std::vector<std::uint16_t> view_ids)
+      : sim(1), timers(sim), log(AppId{1}, nullptr, 1000) {
+    for (std::uint16_t v : view_ids) view.insert(ProcessId{v});
+
+    StreamContext ctx;
+    ctx.self = ProcessId{self_id};
+    ctx.app = AppId{1};
+    appmodel::SensorEdge edge;
+    edge.sensor = SensorId{1};
+    edge.guarantee = appmodel::Guarantee::kGapless;
+    edge.window = appmodel::WindowSpec::count_window(1);
+    ctx.edge = edge;
+    ctx.in_range = true;
+    for (std::uint16_t v : view_ids) {
+      ctx.all_processes.push_back(ProcessId{v});
+      ctx.in_range_processes.push_back(ProcessId{v});
+    }
+    ctx.view = [this]() -> const std::set<ProcessId>& { return view; };
+    ctx.chain = [this] {
+      return std::vector<ProcessId>(view.begin(), view.end());
+    };
+    ctx.logic_active_here = [] { return true; };
+    ctx.deliver = [this](const devices::SensorEvent& e) {
+      delivered.push_back(e.id);
+    };
+    ctx.send = [this](ProcessId dst, net::MsgType type,
+                      std::vector<std::byte> payload) {
+      sent.push_back({dst, type, std::move(payload)});
+    };
+    ctx.staleness = [](std::uint32_t) {};
+    ctx.poll = [](std::uint32_t) {};
+    ctx.timers = &timers;
+    ctx.log = &log;
+    stream = std::make_unique<GaplessStream>(std::move(ctx));
+  }
+
+  devices::SensorEvent event(std::uint32_t seq) {
+    devices::SensorEvent e;
+    e.id = {SensorId{1}, seq};
+    e.emitted_at = sim.now();
+    e.payload_size = 4;
+    return e;
+  }
+
+  static std::set<ProcessId> pids(std::vector<std::uint16_t> ids) {
+    std::set<ProcessId> out;
+    for (std::uint16_t i : ids) out.insert(ProcessId{i});
+    return out;
+  }
+
+  sim::Simulation sim;
+  sim::ProcessTimers timers;
+  EventLog log;
+  std::set<ProcessId> view;
+  std::vector<EventId> delivered;
+  std::vector<Sent> sent;
+  std::unique_ptr<GaplessStream> stream;
+};
+
+TEST(GaplessUnit, IngestDeliversLogsAndForwardsToSuccessor) {
+  Harness h(2, {1, 2, 3});
+  h.stream->on_device_event(h.event(1));
+  EXPECT_EQ(h.delivered.size(), 1u);
+  EXPECT_TRUE(h.log.seen({SensorId{1}, 1}));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].dst, ProcessId{3});  // successor of p2 in {1,2,3}
+  EXPECT_EQ(h.sent[0].type, net::MsgType::kRingEvent);
+  wire::RingPayload p = wire::decode_ring(h.sent[0].payload);
+  EXPECT_EQ(p.seen, Harness::pids({2}));
+  EXPECT_EQ(p.need, Harness::pids({1, 2, 3}));
+}
+
+TEST(GaplessUnit, HighestIdWrapsToLowest) {
+  Harness h(3, {1, 2, 3});
+  h.stream->on_device_event(h.event(1));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].dst, ProcessId{1});
+}
+
+TEST(GaplessUnit, SingletonViewSendsNothing) {
+  Harness h(1, {1});
+  h.stream->on_device_event(h.event(1));
+  EXPECT_TRUE(h.sent.empty());
+  EXPECT_EQ(h.delivered.size(), 1u);
+}
+
+TEST(GaplessUnit, DuplicateDeviceDeliveryIgnored) {
+  Harness h(2, {1, 2, 3});
+  h.stream->on_device_event(h.event(1));
+  h.stream->on_device_event(h.event(1));
+  EXPECT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.sent.size(), 1u);
+}
+
+TEST(GaplessUnit, UnseenRingMessageExtendsSetsAndForwards) {
+  Harness h(2, {1, 2, 3});
+  wire::RingPayload in;
+  in.app = AppId{1};
+  in.sensor = SensorId{1};
+  in.seen = Harness::pids({1});
+  in.need = Harness::pids({1, 3});  // sender's view lacked p2
+  in.event = h.event(7);
+  h.stream->on_ring(ProcessId{1}, in);
+  EXPECT_EQ(h.delivered.size(), 1u);
+  ASSERT_EQ(h.sent.size(), 1u);
+  wire::RingPayload out = wire::decode_ring(h.sent[0].payload);
+  EXPECT_EQ(out.seen, Harness::pids({1, 2}));
+  EXPECT_EQ(out.need, Harness::pids({1, 2, 3}));  // ∪ our view
+}
+
+TEST(GaplessUnit, FallbackFiresOnlyWhenSeenIncompleteAndSelfInS) {
+  Harness h(2, {1, 2, 3});
+  h.stream->on_device_event(h.event(1));  // now seen, p2 ∈ S of our copy
+  h.sent.clear();
+
+  // Case 1: seen, S == V -> ignore.
+  wire::RingPayload done;
+  done.app = AppId{1};
+  done.sensor = SensorId{1};
+  done.seen = Harness::pids({1, 2, 3});
+  done.need = Harness::pids({1, 2, 3});
+  done.event = h.event(1);
+  done.event.id = {SensorId{1}, 1};
+  h.stream->on_ring(ProcessId{1}, done);
+  EXPECT_TRUE(h.sent.empty());
+  EXPECT_EQ(h.stream->rb_initiated(), 0u);
+
+  // Case 2: seen, S != V but p2 ∉ S -> ignore (someone else's problem).
+  wire::RingPayload not_ours = done;
+  not_ours.seen = Harness::pids({1, 3});
+  h.stream->on_ring(ProcessId{1}, not_ours);
+  EXPECT_EQ(h.stream->rb_initiated(), 0u);
+
+  // Case 3: seen, S != V and p2 ∈ S -> reliable broadcast to V ∪ view.
+  wire::RingPayload stuck = done;
+  stuck.seen = Harness::pids({1, 2});
+  stuck.need = Harness::pids({1, 2, 3});
+  h.stream->on_ring(ProcessId{1}, stuck);
+  EXPECT_EQ(h.stream->rb_initiated(), 1u);
+  ASSERT_EQ(h.sent.size(), 2u);  // to p1 and p3, never to self
+  for (const Sent& s : h.sent) {
+    EXPECT_EQ(s.type, net::MsgType::kRbEvent);
+    EXPECT_NE(s.dst, ProcessId{2});
+  }
+}
+
+TEST(GaplessUnit, FallbackHappensAtMostOncePerEvent) {
+  Harness h(2, {1, 2, 3});
+  h.stream->on_device_event(h.event(1));
+  h.sent.clear();
+  wire::RingPayload stuck;
+  stuck.app = AppId{1};
+  stuck.sensor = SensorId{1};
+  stuck.seen = Harness::pids({1, 2});
+  stuck.need = Harness::pids({1, 2, 3});
+  stuck.event = h.event(1);
+  stuck.event.id = {SensorId{1}, 1};
+  h.stream->on_ring(ProcessId{1}, stuck);
+  h.stream->on_ring(ProcessId{1}, stuck);
+  EXPECT_EQ(h.stream->rb_initiated(), 1u);
+  EXPECT_EQ(h.sent.size(), 2u);
+}
+
+TEST(GaplessUnit, RbDeliveryRefloodsOnce) {
+  Harness h(2, {1, 2, 3, 4});
+  wire::EventPayload p;
+  p.app = AppId{1};
+  p.sensor = SensorId{1};
+  p.event = h.event(9);
+  h.stream->on_rb(ProcessId{1}, p);
+  EXPECT_EQ(h.delivered.size(), 1u);
+  // Refloods to everyone except self and the origin.
+  EXPECT_EQ(h.sent.size(), 2u);
+  h.sent.clear();
+  h.stream->on_rb(ProcessId{3}, p);  // duplicate: no delivery, no reflood
+  EXPECT_EQ(h.delivered.size(), 1u);
+  EXPECT_TRUE(h.sent.empty());
+}
+
+TEST(GaplessUnit, SyncSuccessorResendsMissingSuffix) {
+  Harness h(2, {1, 2, 3});
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    h.sim.run_for(seconds(1));
+    h.stream->on_device_event(h.event(i));
+  }
+  h.sent.clear();
+  // Successor reports it has everything up to t=2s: events 3..5 re-sent.
+  h.stream->sync_successor(ProcessId{3}, TimePoint{seconds(2).us});
+  ASSERT_EQ(h.sent.size(), 3u);
+  for (const Sent& s : h.sent) {
+    EXPECT_EQ(s.dst, ProcessId{3});
+    EXPECT_EQ(s.type, net::MsgType::kRingEvent);
+  }
+  wire::RingPayload first = wire::decode_ring(h.sent[0].payload);
+  EXPECT_EQ(first.event.id.seq, 3u);
+}
+
+TEST(GaplessUnit, ViewShrinkChangesSuccessor) {
+  Harness h(1, {1, 2, 3});
+  h.stream->on_device_event(h.event(1));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].dst, ProcessId{2});
+  h.sent.clear();
+  h.view = Harness::pids({1, 3});  // p2 died
+  h.stream->on_device_event(h.event(2));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].dst, ProcessId{3});
+}
+
+}  // namespace
+}  // namespace riv::core

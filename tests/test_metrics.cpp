@@ -1,0 +1,89 @@
+// Tests for the measurement infrastructure the benches rely on.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace riv::metrics {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(LatencyRecorder, MeanAndPercentiles) {
+  LatencyRecorder r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.mean(), Duration{});
+  for (int i = 1; i <= 100; ++i) r.record(milliseconds(i));
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.mean(), Duration{50500});
+  EXPECT_EQ(r.percentile(0.5), milliseconds(51));  // index round(0.5*99)=50
+  EXPECT_EQ(r.percentile(0.0), milliseconds(1));
+  EXPECT_EQ(r.percentile(1.0), milliseconds(100));
+  EXPECT_EQ(r.max(), milliseconds(100));
+}
+
+TEST(LatencyRecorder, PercentileUnaffectedByInsertionOrder) {
+  LatencyRecorder a, b;
+  for (int i = 1; i <= 9; ++i) a.record(milliseconds(i));
+  for (int i = 9; i >= 1; --i) b.record(milliseconds(i));
+  EXPECT_EQ(a.percentile(0.5), b.percentile(0.5));
+}
+
+TEST(TimeSeries, BinnedLastHoldsPriorValue) {
+  TimeSeries s;
+  s.append(TimePoint{seconds(1).us}, 10);
+  s.append(TimePoint{seconds(1).us + 1}, 11);
+  s.append(TimePoint{seconds(3).us}, 30);
+  auto bins = s.binned_last(seconds(1), TimePoint{seconds(4).us});
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].v, 10);  // t=1: the 1s+1us sample is after the bin
+  EXPECT_EQ(bins[1].v, 11);  // t=2: holds the latest
+  EXPECT_EQ(bins[2].v, 30);  // t=3
+  EXPECT_EQ(bins[3].v, 30);  // t=4: holds
+}
+
+TEST(TimeSeries, EmptySeriesBinsToZero) {
+  TimeSeries s;
+  auto bins = s.binned_last(seconds(1), TimePoint{seconds(2).us});
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].v, 0.0);
+}
+
+TEST(Registry, CountersCreatedOnFirstUse) {
+  Registry reg;
+  EXPECT_EQ(reg.counter_value("never.touched"), 0u);
+  reg.counter("net.bytes.ring_event").add(100);
+  reg.counter("net.bytes.keepalive").add(50);
+  EXPECT_EQ(reg.counter_value("net.bytes.ring_event"), 100u);
+}
+
+TEST(Registry, PrefixSum) {
+  Registry reg;
+  reg.counter("net.bytes.a").add(1);
+  reg.counter("net.bytes.b").add(2);
+  reg.counter("net.msgs.a").add(100);
+  EXPECT_EQ(reg.counter_sum("net.bytes."), 3u);
+  EXPECT_EQ(reg.counter_sum("net."), 103u);
+  EXPECT_EQ(reg.counter_sum("nope"), 0u);
+}
+
+TEST(Registry, ResetClearsEverything) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.latency("l").record(milliseconds(1));
+  reg.series("s").append(TimePoint{1}, 1.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_TRUE(reg.latency("l").empty());
+  EXPECT_TRUE(reg.series("s").points().empty());
+}
+
+}  // namespace
+}  // namespace riv::metrics

@@ -1,0 +1,185 @@
+// Unit tests for the simulated WiFi network: delivery, FIFO ordering,
+// crash and partition loss semantics, latency model, byte accounting.
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+
+namespace riv::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : sim(7), net(sim, metrics) {}
+
+  std::vector<std::byte> payload(std::size_t n) {
+    return std::vector<std::byte>(n);
+  }
+
+  sim::Simulation sim;
+  metrics::Registry metrics;
+  SimNetwork net;
+};
+
+TEST_F(NetFixture, DeliversToHandler) {
+  ProcessId a{1}, b{2};
+  std::vector<Message> got;
+  net.endpoint(b).set_handler([&](const Message& m) { got.push_back(m); });
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(10));
+  sim.run_all();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].src, a);
+  EXPECT_EQ(got[0].dst, b);
+  EXPECT_EQ(got[0].type, MsgType::kGapForward);
+  EXPECT_EQ(got[0].payload.size(), 10u);
+}
+
+TEST_F(NetFixture, PerPairFifoEvenWithJitter) {
+  ProcessId a{1}, b{2};
+  std::vector<int> order;
+  net.endpoint(b).set_handler([&](const Message& m) {
+    order.push_back(static_cast<int>(m.payload.size()));
+  });
+  for (int i = 1; i <= 50; ++i)
+    net.endpoint(a).send(b, MsgType::kGapForward, payload(i));
+  sim.run_all();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 1; i <= 50; ++i) EXPECT_EQ(order[i - 1], i);
+}
+
+TEST_F(NetFixture, LatencyGrowsWithSize) {
+  ProcessId a{1}, b{2};
+  TimePoint small_at{}, large_at{};
+  net.endpoint(b).set_handler([&](const Message& m) {
+    if (m.payload.size() < 100)
+      small_at = sim.now();
+    else
+      large_at = sim.now();
+  });
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  TimePoint t0 = small_at;
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(20000));
+  sim.run_all();
+  Duration small_delay = t0 - TimePoint{};
+  Duration large_delay = large_at - t0;
+  EXPECT_GT(large_delay.us, small_delay.us + 2000);  // >2 ms extra for 20 KB
+}
+
+TEST_F(NetFixture, DownReceiverLosesFrames) {
+  ProcessId a{1}, b{2};
+  int got = 0;
+  net.endpoint(b).set_handler([&](const Message&) { ++got; });
+  net.set_process_up(b, false);
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, CrashWhileInFlightLosesFrame) {
+  ProcessId a{1}, b{2};
+  int got = 0;
+  net.endpoint(b).set_handler([&](const Message&) { ++got; });
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  net.set_process_up(b, false);  // crash before the frame lands
+  sim.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, PartitionBlocksAcrossGroupsOnly) {
+  ProcessId a{1}, b{2}, c{3};
+  int got_b = 0, got_c = 0;
+  net.endpoint(b).set_handler([&](const Message&) { ++got_b; });
+  net.endpoint(c).set_handler([&](const Message&) { ++got_c; });
+  net.set_partition({{a, b}, {c}});
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  net.endpoint(a).send(c, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 0);
+  EXPECT_FALSE(net.connected(a, c));
+  EXPECT_TRUE(net.connected(a, b));
+}
+
+TEST_F(NetFixture, HealRestoresConnectivity) {
+  ProcessId a{1}, c{3};
+  int got = 0;
+  net.endpoint(c).set_handler([&](const Message&) { ++got; });
+  net.set_partition({{a}, {c}});
+  net.endpoint(a).send(c, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got, 0);
+  net.heal_partition();
+  net.endpoint(a).send(c, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, UnmentionedProcessIsIsolatedDuringPartition) {
+  ProcessId a{1}, d{4};
+  net.endpoint(a);
+  net.endpoint(d);
+  net.set_partition({{a}});
+  EXPECT_FALSE(net.connected(a, d));
+  EXPECT_TRUE(net.connected(d, d));
+}
+
+TEST_F(NetFixture, ByteAccountingCountsHeaderAndPayload) {
+  ProcessId a{1}, b{2};
+  net.endpoint(b).set_handler([](const Message&) {});
+  net.endpoint(a).send(b, MsgType::kRingEvent, payload(100));
+  sim.run_all();
+  EXPECT_EQ(metrics.counter_value("net.msgs.ring_event"), 1u);
+  EXPECT_EQ(metrics.counter_value("net.bytes.ring_event"),
+            100u + kHeaderBytes);
+}
+
+TEST_F(NetFixture, ByteAccountingSkipsPartitionedSends) {
+  ProcessId a{1}, c{3};
+  net.set_partition({{a}, {c}});
+  net.endpoint(a).send(c, MsgType::kRingEvent, payload(100));
+  sim.run_all();
+  EXPECT_EQ(metrics.counter_value("net.msgs.ring_event"), 0u);
+}
+
+TEST_F(NetFixture, CongestionTermGrowsWithProcessCount) {
+  // Delay from a to b with 2 live processes vs 6 live processes.
+  ProcessId a{1}, b{2};
+  TimePoint first{}, second{};
+  net.endpoint(b).set_handler([&](const Message&) {
+    if (first == TimePoint{})
+      first = sim.now();
+    else
+      second = sim.now();
+  });
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  for (std::uint16_t i = 3; i <= 6; ++i) net.endpoint(ProcessId{i});
+  TimePoint t1 = sim.now();
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  Duration d1 = first - TimePoint{};
+  Duration d2 = second - t1;
+  EXPECT_GT(d2.us, d1.us);  // more processes, more keep-alive congestion
+}
+
+TEST(WifiModel, DeterministicGivenSeed) {
+  for (int run = 0; run < 2; ++run) {
+    static TimePoint reference{};
+    sim::Simulation sim(99);
+    metrics::Registry metrics;
+    SimNetwork net(sim, metrics);
+    TimePoint arrival{};
+    net.endpoint(ProcessId{2}).set_handler([&](const Message&) {
+      arrival = sim.now();
+    });
+    net.endpoint(ProcessId{1}).send(ProcessId{2}, MsgType::kGapForward,
+                                    std::vector<std::byte>(8));
+    sim.run_all();
+    if (run == 0)
+      reference = arrival;
+    else
+      EXPECT_EQ(arrival, reference);
+  }
+}
+
+}  // namespace
+}  // namespace riv::net

@@ -1,0 +1,199 @@
+// Tests of coordinated polling (§4.1/§8.5): one poll per epoch in the
+// failure-free case, slot takeover after poller crashes, staleness
+// exceptions for empty epochs, Gap single-poller optimality.
+#include <gtest/gtest.h>
+
+#include "workload/apps.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv {
+namespace {
+
+using workload::HomeDeployment;
+
+constexpr AppId kApp{1};
+constexpr SensorId kTemp{1};
+constexpr ActuatorId kHvac{1};
+
+devices::SensorSpec temp_poll_sensor(Duration poll_latency) {
+  devices::SensorSpec spec;
+  spec.id = kTemp;
+  spec.name = "temperature";
+  spec.kind = devices::SensorKind::kTemperature;
+  spec.tech = devices::Technology::kZWave;
+  spec.push = false;
+  spec.payload_size = 4;
+  spec.poll_latency = poll_latency;
+  spec.poll_jitter = 0.1;
+  spec.value_base = 22.0;
+  spec.value_amplitude = 1.0;
+  return spec;
+}
+
+devices::ActuatorSpec hvac_actuator() {
+  devices::ActuatorSpec spec;
+  spec.id = kHvac;
+  spec.name = "hvac";
+  spec.tech = devices::Technology::kIp;
+  return spec;
+}
+
+std::unique_ptr<HomeDeployment> make_home(int n, int receivers,
+                                          Duration epoch,
+                                          Duration poll_latency,
+                                          appmodel::Guarantee g,
+                                          std::uint64_t seed = 41) {
+  HomeDeployment::Options opt;
+  opt.seed = seed;
+  opt.n_processes = n;
+  auto home = std::make_unique<HomeDeployment>(opt);
+  std::vector<ProcessId> linked;
+  for (int i = 0; i < receivers; ++i) linked.push_back(home->pid(i));
+  home->add_sensor(temp_poll_sensor(poll_latency), linked);
+  home->add_actuator(hvac_actuator(), {home->pid(0)});
+  if (g == appmodel::Guarantee::kGapless) {
+    home->deploy(workload::apps::temperature_hvac(kApp, kTemp, kHvac, epoch,
+                                                  18.0, 25.0));
+  } else {
+    // A Gap variant of the same app.
+    appmodel::AppBuilder app(kApp, "temperature-hvac-gap");
+    auto op = app.add_operator("Thermostat");
+    op.add_sensor(kTemp, appmodel::Guarantee::kGap,
+                  appmodel::WindowSpec::count_window(1),
+                  appmodel::PollingPolicy{epoch});
+    op.add_actuator(kHvac, appmodel::Guarantee::kGap);
+    op.handle_triggered_window(
+        [](const std::vector<appmodel::StreamWindow>&,
+           appmodel::TriggerContext&) {});
+    home->deploy(app.build());
+  }
+  return home;
+}
+
+TEST(CoordinatedPolling, OnePollPerEpochFailureFree) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGapless);
+  home->start();
+  home->run_for(seconds(100));
+  const devices::Sensor& s = home->bus().sensor(kTemp);
+  // ~10 epochs: close to one poll each (§4.1's coordinated schedule).
+  EXPECT_GE(s.polls_received(), 8u);
+  EXPECT_LE(s.polls_received(), 13u);
+  EXPECT_LE(s.polls_dropped(), 1u);
+}
+
+TEST(CoordinatedPolling, AppReceivesOneEventPerEpoch) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGapless);
+  home->start();
+  home->run_for(seconds(100));
+  core::RivuletProcess* active = home->active_logic_process(kApp);
+  ASSERT_NE(active, nullptr);
+  EXPECT_GE(active->delivered(kApp), 8u);
+  EXPECT_LE(active->delivered(kApp), 12u);
+  EXPECT_EQ(home->metrics().counter_value("app1.staleness"), 0u);
+}
+
+TEST(CoordinatedPolling, PollerCrashHandledBySlotRotation) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGapless);
+  home->start();
+  home->run_for(seconds(50));
+  std::uint64_t before =
+      home->active_logic_process(kApp)->delivered(kApp);
+  // Crash the first slot owner (lowest-id in-range process polls first).
+  home->process(0).crash();
+  home->run_for(seconds(50));
+  core::RivuletProcess* active = home->active_logic_process(kApp);
+  ASSERT_NE(active, nullptr);
+  // Polling continued: roughly one event per epoch still flows.
+  EXPECT_GE(active->delivered(kApp) + before, 8u);
+  const devices::Sensor& s = home->bus().sensor(kTemp);
+  EXPECT_GE(s.polls_served(), 8u);
+}
+
+TEST(CoordinatedPolling, CrashedSensorRaisesStalenessExceptions) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGapless);
+  home->start();
+  home->run_for(seconds(30));
+  home->bus().sensor(kTemp).crash();
+  home->run_for(seconds(50));
+  // §4.1: Rivulet detects empty epochs for poll-based sensors and throws.
+  EXPECT_GE(home->metrics().counter_value("app1.staleness"), 3u);
+}
+
+TEST(CoordinatedPolling, SensorRecoveryStopsStaleness) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGapless);
+  home->start();
+  home->run_for(seconds(20));
+  home->bus().sensor(kTemp).crash();
+  home->run_for(seconds(30));
+  home->bus().sensor(kTemp).recover();
+  home->run_for(seconds(10));
+  std::uint64_t staleness = home->metrics().counter_value("app1.staleness");
+  home->run_for(seconds(40));
+  EXPECT_EQ(home->metrics().counter_value("app1.staleness"), staleness);
+}
+
+TEST(GapPolling, SingleForwarderPollsOptimally) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGap);
+  home->start();
+  home->run_for(seconds(100));
+  const devices::Sensor& s = home->bus().sensor(kTemp);
+  // §4.2/Fig 8: Gap polling is optimal — exactly one poll per epoch.
+  EXPECT_GE(s.polls_received(), 9u);
+  EXPECT_LE(s.polls_received(), 11u);
+  EXPECT_EQ(s.polls_dropped(), 0u);
+}
+
+TEST(GapPolling, PollerFailoverResumesPolling) {
+  auto home = make_home(3, 3, seconds(10), milliseconds(500),
+                        appmodel::Guarantee::kGap);
+  home->start();
+  home->run_for(seconds(40));
+  std::uint64_t before = home->bus().sensor(kTemp).polls_received();
+  EXPECT_GT(before, 0u);
+  home->process(0).crash();  // app-bearing process == poller
+  home->run_for(seconds(50));
+  EXPECT_GT(home->bus().sensor(kTemp).polls_received(), before + 2);
+}
+
+TEST(CoordinatedPolling, TwoStreamsDifferentEpochsCoexist) {
+  HomeDeployment::Options opt;
+  opt.seed = 43;
+  opt.n_processes = 3;
+  HomeDeployment home(opt);
+  devices::SensorSpec t1 = temp_poll_sensor(milliseconds(500));
+  devices::SensorSpec t2 = temp_poll_sensor(milliseconds(400));
+  t2.id = SensorId{2};
+  t2.name = "humidity";
+  t2.kind = devices::SensorKind::kHumidity;
+  home.add_sensor(t1, home.processes());
+  home.add_sensor(t2, home.processes());
+  home.add_actuator(hvac_actuator(), {home.pid(0)});
+
+  appmodel::AppBuilder app(kApp, "dual-poll");
+  auto op = app.add_operator("Monitor",
+                             std::make_unique<appmodel::FTCombiner>(1));
+  op.add_sensor(SensorId{1}, appmodel::Guarantee::kGapless,
+                appmodel::WindowSpec::count_window(1),
+                appmodel::PollingPolicy{seconds(10)});
+  op.add_sensor(SensorId{2}, appmodel::Guarantee::kGapless,
+                appmodel::WindowSpec::count_window(1),
+                appmodel::PollingPolicy{seconds(5)});
+  op.handle_triggered_window(
+      [](const std::vector<appmodel::StreamWindow>&,
+         appmodel::TriggerContext&) {});
+  home.deploy(app.build());
+  home.start();
+  home.run_for(seconds(100));
+  // ~10 polls for the 10 s epoch stream, ~20 for the 5 s epoch stream.
+  EXPECT_NEAR(home.bus().sensor(SensorId{1}).polls_served(), 10.0, 3.0);
+  EXPECT_NEAR(home.bus().sensor(SensorId{2}).polls_served(), 20.0, 4.0);
+}
+
+}  // namespace
+}  // namespace riv

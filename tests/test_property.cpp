@@ -1,0 +1,210 @@
+// Property-based tests: randomized fault schedules (seeded, reproducible)
+// checking the paper's core invariants across many executions.
+//
+//   Gapless invariant (§4.1): every event received by at least one
+//   process that stays correct is eventually delivered to an active logic
+//   node, across arbitrary link loss, process crashes with recovery, and
+//   healed partitions.
+//
+//   Gap invariant (§4.2): delivery count never exceeds emission count
+//   (no duplicates to the app), no matter the fault schedule.
+//
+//   Execution invariant (§5): after faults stop and views converge,
+//   exactly one logic node is active.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/apps.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv {
+namespace {
+
+using workload::HomeDeployment;
+
+constexpr AppId kApp{1};
+constexpr SensorId kDoor{1};
+constexpr ActuatorId kLight{1};
+
+struct FaultCase {
+  std::uint64_t seed;
+  double link_loss;
+  int n_processes;
+  int receivers;
+};
+
+void print_case(const FaultCase& c) {
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << c.seed << " loss=" << c.link_loss
+               << " n=" << c.n_processes << " m=" << c.receivers);
+}
+
+std::unique_ptr<HomeDeployment> build(const FaultCase& c,
+                                      appmodel::Guarantee g) {
+  HomeDeployment::Options opt;
+  opt.seed = c.seed;
+  opt.n_processes = c.n_processes;
+  auto home = std::make_unique<HomeDeployment>(opt);
+  devices::SensorSpec spec;
+  spec.id = kDoor;
+  spec.name = "door";
+  spec.kind = devices::SensorKind::kDoor;
+  spec.tech = devices::Technology::kIp;
+  spec.rate_hz = 10.0;
+  std::vector<ProcessId> linked;
+  for (int i = 0; i < c.receivers && i < c.n_processes; ++i)
+    linked.push_back(home->pid(i));
+  devices::LinkParams link;
+  link.loss_prob = c.link_loss;
+  home->add_sensor(spec, linked, link);
+  devices::ActuatorSpec light;
+  light.id = kLight;
+  light.name = "light";
+  light.tech = devices::Technology::kIp;
+  home->add_actuator(light, {home->pid(0)});
+  home->deploy(workload::apps::turn_light_on_off(kApp, kDoor, kLight, g));
+  return home;
+}
+
+// Random crash/recover chaos for `duration`, never crashing more than
+// (n - 1) processes at once so at least one correct process exists.
+void run_chaos(HomeDeployment& home, Rng& rng, Duration duration,
+               Duration step) {
+  const int n = static_cast<int>(home.processes().size());
+  TimePoint end = home.sim().now() + duration;
+  while (home.sim().now() < end) {
+    home.run_for(step);
+    int up = 0;
+    for (int i = 0; i < n; ++i) up += home.process(i).up();
+    int victim = static_cast<int>(rng.uniform_int(n));
+    core::RivuletProcess& p = home.process(victim);
+    if (p.up() && up > 1 && rng.bernoulli(0.5)) {
+      p.crash();
+    } else if (!p.up() && rng.bernoulli(0.7)) {
+      p.recover();
+    }
+  }
+  // Quiesce: recover everyone and let views converge.
+  for (int i = 0; i < n; ++i) {
+    if (!home.process(i).up()) home.process(i).recover();
+  }
+  home.run_for(seconds(10));
+}
+
+class GaplessChaos : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(GaplessChaos, EveryIngestedEventEventuallyDelivered) {
+  FaultCase c = GetParam();
+  print_case(c);
+  auto home = build(c, appmodel::Guarantee::kGapless);
+  home->start();
+  Rng chaos(c.seed ^ 0xfeedface);
+  run_chaos(*home, chaos, seconds(60), seconds(3));
+  home->run_for(seconds(15));  // drain
+
+  // Post-ingest guarantee: everything that reached at least one process
+  // must be in every live process's log and have been delivered at least
+  // once to an active logic node.
+  std::uint64_t ingested_anywhere = 0;
+  for (int i = 0; i < c.n_processes; ++i) {
+    ingested_anywhere = std::max(
+        ingested_anywhere,
+        home->metrics().counter_value(
+            "ingest.p" + std::to_string(i + 1) + ".s1"));
+  }
+  std::uint64_t delivered =
+      home->metrics().counter_value("app1.delivered");
+  EXPECT_GE(delivered + 5, ingested_anywhere);
+
+  // All live logs converge to the same event set size.
+  std::size_t max_log = 0;
+  for (int i = 0; i < c.n_processes; ++i) {
+    max_log = std::max(max_log,
+                       home->process(i).event_log(kApp)->size(kDoor));
+  }
+  for (int i = 0; i < c.n_processes; ++i) {
+    EXPECT_GE(home->process(i).event_log(kApp)->size(kDoor) + 5, max_log)
+        << "process " << i << " did not converge";
+  }
+
+  // Exactly one active logic node after quiescence.
+  int actives = 0;
+  for (int i = 0; i < c.n_processes; ++i)
+    actives += home->process(i).logic_active(kApp);
+  EXPECT_EQ(actives, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, GaplessChaos,
+    ::testing::Values(FaultCase{101, 0.0, 3, 3}, FaultCase{102, 0.1, 3, 2},
+                      FaultCase{103, 0.3, 5, 3}, FaultCase{104, 0.0, 5, 5},
+                      FaultCase{105, 0.5, 4, 4}, FaultCase{106, 0.2, 2, 2},
+                      FaultCase{107, 0.4, 5, 2}, FaultCase{108, 0.1, 4, 1}));
+
+class GapChaos : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(GapChaos, NeverDeliversMoreThanEmitted) {
+  FaultCase c = GetParam();
+  print_case(c);
+  auto home = build(c, appmodel::Guarantee::kGap);
+  home->start();
+  Rng chaos(c.seed ^ 0xabad1dea);
+  run_chaos(*home, chaos, seconds(60), seconds(3));
+  std::uint64_t emitted = home->bus().sensor(kDoor).events_emitted();
+  std::uint64_t delivered =
+      home->metrics().counter_value("app1.delivered");
+  EXPECT_LE(delivered, emitted);
+  int actives = 0;
+  for (int i = 0; i < c.n_processes; ++i)
+    actives += home->process(i).logic_active(kApp);
+  EXPECT_EQ(actives, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, GapChaos,
+    ::testing::Values(FaultCase{201, 0.0, 3, 3}, FaultCase{202, 0.2, 4, 2},
+                      FaultCase{203, 0.5, 5, 4}, FaultCase{204, 0.1, 2, 1},
+                      FaultCase{205, 0.3, 5, 5}));
+
+class PartitionChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionChaos, GaplessConvergesAfterRepeatedPartitions) {
+  const std::uint64_t seed = GetParam();
+  FaultCase c{seed, 0.1, 4, 2};
+  auto home = build(c, appmodel::Guarantee::kGapless);
+  home->start();
+  Rng rng(seed ^ 0x9e3779b9);
+  for (int round = 0; round < 4; ++round) {
+    home->run_for(seconds(8));
+    // Random two-way split.
+    std::set<ProcessId> a, b;
+    for (int i = 0; i < 4; ++i) {
+      (rng.bernoulli(0.5) ? a : b).insert(home->pid(i));
+    }
+    if (a.empty() || b.empty()) continue;
+    home->net().set_partition({a, b});
+    home->run_for(seconds(8));
+    home->net().heal_partition();
+  }
+  home->run_for(seconds(15));
+
+  std::uint64_t ingested_anywhere = 0;
+  for (int i = 0; i < 4; ++i) {
+    ingested_anywhere = std::max(
+        ingested_anywhere,
+        home->metrics().counter_value(
+            "ingest.p" + std::to_string(i + 1) + ".s1"));
+  }
+  EXPECT_GE(home->metrics().counter_value("app1.delivered") + 5,
+            ingested_anywhere);
+  int actives = 0;
+  for (int i = 0; i < 4; ++i)
+    actives += home->process(i).logic_active(kApp);
+  EXPECT_EQ(actives, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionChaos,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+}  // namespace
+}  // namespace riv

@@ -1,0 +1,152 @@
+// Unit tests for the discrete-event simulation kernel and stable store.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "sim/stable_store.hpp"
+
+namespace riv::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{300}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{100}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{200}, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{300});
+}
+
+TEST(Simulation, TiesBreakByScheduleOrder) {
+  Simulation sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(TimePoint{50}, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim(1);
+  bool fired = false;
+  TimerId id = sim.schedule_after(seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelIsIdempotent) {
+  Simulation sim(1);
+  TimerId id = sim.schedule_after(seconds(1), [] {});
+  sim.cancel(id);
+  sim.cancel(id);  // no-op
+  sim.run_all();
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim(1);
+  sim.run_until(TimePoint{seconds(5).us});
+  EXPECT_EQ(sim.now().seconds(), 5.0);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim(1);
+  int fired = 0;
+  sim.schedule_at(TimePoint{100}, [&] { ++fired; });
+  sim.schedule_at(TimePoint{200}, [&] { ++fired; });
+  sim.run_until(TimePoint{150});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint{150});
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim(1);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(milliseconds(1), recurse);
+  };
+  sim.schedule_after(milliseconds(1), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), TimePoint{milliseconds(10).us});
+}
+
+TEST(ProcessTimers, CancelAllStopsEverything) {
+  Simulation sim(1);
+  int fired = 0;
+  {
+    ProcessTimers timers(sim);
+    for (int i = 1; i <= 10; ++i)
+      timers.schedule_after(milliseconds(i), [&] { ++fired; });
+    timers.cancel_all();
+  }
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ProcessTimers, DestructionCancelsPending) {
+  Simulation sim(1);
+  int fired = 0;
+  {
+    ProcessTimers timers(sim);
+    timers.schedule_after(milliseconds(5), [&] { ++fired; });
+  }  // destructor must cancel — the lambda would dangle otherwise
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ProcessTimers, IndividualCancel) {
+  Simulation sim(1);
+  int fired = 0;
+  ProcessTimers timers(sim);
+  TimerId a = timers.schedule_after(milliseconds(1), [&] { fired += 1; });
+  timers.schedule_after(milliseconds(2), [&] { fired += 10; });
+  timers.cancel(a);
+  sim.run_all();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(ProcessTimers, SurvivesManyTimers) {
+  Simulation sim(1);
+  ProcessTimers timers(sim);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i)
+    timers.schedule_after(microseconds(i + 1), [&] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(StableStore, PutGetErase) {
+  StableStore store;
+  store.put("k", {std::byte{1}, std::byte{2}});
+  ASSERT_TRUE(store.get("k").has_value());
+  EXPECT_EQ(store.get("k")->size(), 2u);
+  EXPECT_FALSE(store.get("missing").has_value());
+  store.erase("k");
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(StableStore, PrefixScanIsSortedAndScoped) {
+  StableStore store;
+  store.put("app1/ev/3", {});
+  store.put("app1/ev/1", {});
+  store.put("app1/hw/1", {});
+  store.put("app2/ev/1", {});
+  auto keys = store.keys_with_prefix("app1/ev/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "app1/ev/1");
+  EXPECT_EQ(keys[1], "app1/ev/3");
+}
+
+TEST(StableStore, OverwriteReplacesValue) {
+  StableStore store;
+  store.put("k", {std::byte{1}});
+  store.put("k", {std::byte{2}, std::byte{3}});
+  EXPECT_EQ(store.get("k")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace riv::sim

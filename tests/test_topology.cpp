@@ -1,0 +1,140 @@
+// Tests for the geometric home-topology model: segment intersection,
+// wall attenuation, per-technology range limits, and bus wiring.
+#include <gtest/gtest.h>
+
+#include "workload/topology.hpp"
+
+namespace riv::workload {
+namespace {
+
+using devices::Technology;
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance_m({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_m({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, SegmentsIntersect) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Parallel overlapping segments do not "properly" intersect.
+  EXPECT_FALSE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+}
+
+HostPlacement host_at(std::uint16_t id, double x, double y) {
+  HostPlacement h;
+  h.process = ProcessId{id};
+  h.name = "h" + std::to_string(id);
+  h.position = {x, y};
+  h.adapters = {Technology::kZWave, Technology::kZigbee, Technology::kIp};
+  return h;
+}
+
+TEST(Topology, WallsBetweenCounts) {
+  HomeTopology topo;
+  topo.add_wall({{5, 0}, {5, 10}, 1.0});
+  topo.add_wall({{7, 0}, {7, 10}, 1.0});
+  EXPECT_EQ(topo.walls_between({0, 5}, {10, 5}), 2);
+  EXPECT_EQ(topo.walls_between({0, 5}, {4, 5}), 0);
+}
+
+TEST(Topology, RangeLimitPerTechnology) {
+  HomeTopology topo;
+  HostPlacement near = host_at(1, 10.0, 0.0);
+  HostPlacement far = host_at(2, 30.0, 0.0);
+  topo.add_host(near);
+  topo.add_host(far);
+  // Zigbee range is 15 m: the near host hears, the far one does not.
+  LinkEstimate near_est = topo.estimate({0, 0}, near, Technology::kZigbee);
+  LinkEstimate far_est = topo.estimate({0, 0}, far, Technology::kZigbee);
+  EXPECT_TRUE(near_est.in_range);
+  EXPECT_FALSE(far_est.in_range);
+  // Z-Wave reaches 40 m: both hear.
+  EXPECT_TRUE(topo.estimate({0, 0}, far, Technology::kZWave).in_range);
+}
+
+TEST(Topology, MissingAdapterMeansUnreachable) {
+  HomeTopology topo;
+  HostPlacement h = host_at(1, 1.0, 0.0);
+  h.adapters = {Technology::kIp};  // no Z-Wave radio
+  EXPECT_FALSE(topo.estimate({0, 0}, h, Technology::kZWave).in_range);
+}
+
+TEST(Topology, WallsIncreaseLossAndShrinkRange) {
+  HomeTopology topo;
+  HostPlacement h = host_at(1, 12.0, 0.0);
+  LinkEstimate open = topo.estimate({0, 0}, h, Technology::kZWave);
+  topo.add_wall({{6, -5}, {6, 5}, 1.0});
+  LinkEstimate walled = topo.estimate({0, 0}, h, Technology::kZWave);
+  ASSERT_TRUE(open.in_range);
+  ASSERT_TRUE(walled.in_range);
+  EXPECT_EQ(walled.walls_crossed, 1);
+  EXPECT_GT(walled.loss_prob, open.loss_prob);
+  // A heavy concrete wall can push the host out of range entirely.
+  topo.add_wall({{7, -5}, {7, 5}, 3.0});
+  LinkEstimate concrete = topo.estimate({0, 0}, h, Technology::kZigbee);
+  EXPECT_FALSE(concrete.in_range);
+}
+
+TEST(Topology, LossGrowsTowardRangeEdge) {
+  HomeTopology topo;
+  HostPlacement close = host_at(1, 5.0, 0.0);
+  HostPlacement edge = host_at(2, 38.0, 0.0);
+  LinkEstimate c = topo.estimate({0, 0}, close, Technology::kZWave);
+  LinkEstimate e = topo.estimate({0, 0}, edge, Technology::kZWave);
+  ASSERT_TRUE(c.in_range);
+  ASSERT_TRUE(e.in_range);
+  EXPECT_GT(e.loss_prob, c.loss_prob + 0.1);
+}
+
+TEST(Topology, WiresBusFromGeometry) {
+  sim::Simulation sim(5);
+  devices::HomeBus bus(sim);
+  HomeTopology topo = sample_home(
+      {ProcessId{1}, ProcessId{2}, ProcessId{3}});
+
+  devices::SensorSpec door;
+  door.id = SensorId{1};
+  door.name = "front-door";
+  door.kind = devices::SensorKind::kDoor;
+  door.tech = Technology::kZigbee;  // short range: placement matters
+  bus.add_sensor(door);
+  topo.place_sensor(SensorId{1}, {2.0, 1.0});  // in the living room
+
+  devices::ActuatorSpec lamp;
+  lamp.id = ActuatorId{1};
+  lamp.name = "lamp";
+  lamp.tech = Technology::kZigbee;
+  bus.add_actuator(lamp);
+  topo.place_actuator(ActuatorId{1}, {14.5, 2.0});  // kitchen
+
+  topo.wire(bus);
+  // The living-room TV (p2, at 2.5/3.0) certainly hears the door; the
+  // kitchen fridge (p3, at 14/3, ~12 m away through two walls) does not
+  // reach it over Zigbee.
+  EXPECT_TRUE(bus.sensor_in_range(ProcessId{2}, SensorId{1}));
+  EXPECT_FALSE(bus.sensor_in_range(ProcessId{3}, SensorId{1}));
+  // The lamp next to the fridge is actuated from the kitchen host.
+  EXPECT_TRUE(bus.actuator_in_range(ProcessId{3}, ActuatorId{1}));
+  EXPECT_FALSE(bus.actuator_in_range(ProcessId{2}, ActuatorId{1}));
+}
+
+TEST(Topology, SampleHomeHasHeterogeneousConnectivity) {
+  HomeTopology topo = sample_home({ProcessId{1}, ProcessId{2}, ProcessId{3},
+                                   ProcessId{4}, ProcessId{5}});
+  EXPECT_EQ(topo.hosts().size(), 5u);
+  // A Zigbee device in the utility room behind the concrete partition:
+  // only the nearby washer host should hear it.
+  topo.place_sensor(SensorId{1}, {15.5, 8.0});
+  auto reachable = topo.reachable_hosts(SensorId{1}, Technology::kZigbee);
+  ASSERT_GE(reachable.size(), 1u);
+  EXPECT_LT(reachable.size(), 5u);
+  bool washer_reaches = false;
+  for (const auto& [p, est] : reachable)
+    washer_reaches |= p == ProcessId{4};
+  EXPECT_TRUE(washer_reaches);
+}
+
+}  // namespace
+}  // namespace riv::workload

@@ -1,0 +1,148 @@
+// Tests for the protocol payload formats: round-trips and the exact wire
+// sizes the network-overhead results depend on.
+#include <gtest/gtest.h>
+
+#include "core/wire.hpp"
+
+namespace riv::core::wire {
+namespace {
+
+devices::SensorEvent sample_event(std::uint32_t payload = 4) {
+  devices::SensorEvent e;
+  e.id = {SensorId{3}, 42};
+  e.epoch = 9;
+  e.emitted_at = TimePoint{1234567};
+  e.poll_based = true;
+  e.value = 21.5;
+  e.payload_size = payload;
+  return e;
+}
+
+TEST(Wire, PidSetRoundTrip) {
+  BinaryWriter w;
+  std::set<ProcessId> s = {ProcessId{1}, ProcessId{5}, ProcessId{300}};
+  write_pid_set(w, s);
+  EXPECT_EQ(w.size(), 1u + 2u * 3u);
+  BinaryReader r(w.data());
+  EXPECT_EQ(read_pid_set(r), s);
+}
+
+TEST(Wire, EmptyPidSet) {
+  BinaryWriter w;
+  write_pid_set(w, {});
+  BinaryReader r(w.data());
+  EXPECT_TRUE(read_pid_set(r).empty());
+}
+
+TEST(Wire, RingPayloadRoundTrip) {
+  RingPayload p;
+  p.app = AppId{7};
+  p.sensor = SensorId{3};
+  p.seen = {ProcessId{1}, ProcessId{2}};
+  p.need = {ProcessId{1}, ProcessId{2}, ProcessId{3}};
+  p.event = sample_event();
+  std::vector<std::byte> buf = encode(p);
+  RingPayload d = decode_ring(buf);
+  EXPECT_EQ(d.app, p.app);
+  EXPECT_EQ(d.sensor, p.sensor);
+  EXPECT_EQ(d.seen, p.seen);
+  EXPECT_EQ(d.need, p.need);
+  EXPECT_EQ(d.event.id, p.event.id);
+  EXPECT_EQ(d.event.epoch, p.event.epoch);
+}
+
+TEST(Wire, RingPayloadSizeFormula) {
+  // app(2) + sensor(2) + (1 + 2|S|) + (1 + 2|V|) + event(23 + payload).
+  RingPayload p;
+  p.app = AppId{1};
+  p.sensor = SensorId{1};
+  p.seen = {ProcessId{1}};
+  p.need = {ProcessId{1}, ProcessId{2}, ProcessId{3}, ProcessId{4},
+            ProcessId{5}};
+  p.event = sample_event(4);
+  EXPECT_EQ(encode(p).size(), 2u + 2u + 3u + 11u + 27u);
+}
+
+TEST(Wire, EventPayloadRoundTripAndSize) {
+  EventPayload p;
+  p.app = AppId{2};
+  p.sensor = SensorId{3};
+  p.event = sample_event(8);
+  std::vector<std::byte> buf = encode_event_payload(p);
+  EXPECT_EQ(buf.size(), 2u + 2u + 23u + 8u);
+  EventPayload d = decode_event_payload(buf);
+  EXPECT_EQ(d.app, p.app);
+  EXPECT_EQ(d.event.id, p.event.id);
+  EXPECT_DOUBLE_EQ(d.event.value, 21.5);
+}
+
+TEST(Wire, SyncRequestRoundTrip) {
+  std::vector<std::byte> buf = encode_sync_request(AppId{12});
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(decode_sync_request(buf), AppId{12});
+}
+
+TEST(Wire, SyncResponseRoundTrip) {
+  SyncResponse p;
+  p.app = AppId{4};
+  p.high_waters = {{SensorId{1}, TimePoint{100}},
+                   {SensorId{9}, TimePoint{20000}}};
+  std::vector<std::byte> buf = encode(p);
+  EXPECT_EQ(buf.size(), 2u + 2u + 2u * 10u);
+  SyncResponse d = decode_sync_response(buf);
+  EXPECT_EQ(d.app, p.app);
+  ASSERT_EQ(d.high_waters.size(), 2u);
+  EXPECT_EQ(d.high_waters[1].first, SensorId{9});
+  EXPECT_EQ(d.high_waters[1].second, TimePoint{20000});
+}
+
+TEST(Wire, CommandPayloadRoundTrip) {
+  CommandPayload p;
+  p.app = AppId{1};
+  p.guarantee = 1;
+  p.command.id = {ProcessId{2}, 55};
+  p.command.actuator = ActuatorId{4};
+  p.command.test_and_set = true;
+  p.command.expected = 1.0;
+  p.command.value = 0.0;
+  p.command.issued_at = TimePoint{42};
+  std::vector<std::byte> buf = encode(p);
+  EXPECT_EQ(buf.size(), 2u + 1u + devices::Command::kWireSize);
+  CommandPayload d = decode_command_payload(buf);
+  EXPECT_EQ(d.guarantee, 1);
+  EXPECT_EQ(d.command.id, p.command.id);
+  EXPECT_TRUE(d.command.test_and_set);
+}
+
+TEST(Wire, RoleChangeRoundTrip) {
+  std::vector<std::byte> buf = encode_role_change(AppId{3});
+  EXPECT_EQ(decode_role_change(buf), AppId{3});
+}
+
+TEST(Wire, CommandAckRoundTrip) {
+  CommandAck p;
+  p.app = AppId{6};
+  p.command = {ProcessId{3}, 77};
+  std::vector<std::byte> buf = encode(p);
+  EXPECT_EQ(buf.size(), 2u + 6u);
+  CommandAck d = decode_command_ack(buf);
+  EXPECT_EQ(d.app, p.app);
+  EXPECT_EQ(d.command, p.command);
+}
+
+TEST(Wire, LargeEventSurvivesRing) {
+  RingPayload p;
+  p.app = AppId{1};
+  p.sensor = SensorId{1};
+  p.seen = {ProcessId{1}};
+  p.need = {ProcessId{1}, ProcessId{2}};
+  p.event = sample_event(20 * 1024);
+  std::vector<std::byte> buf = encode(p);
+  EXPECT_GT(buf.size(), 20u * 1024u);
+  RingPayload d = decode_ring(buf);
+  EXPECT_EQ(d.event.payload_size, 20u * 1024u);
+  EXPECT_DOUBLE_EQ(d.event.value, 21.5);
+}
+
+}  // namespace
+}  // namespace riv::core::wire
