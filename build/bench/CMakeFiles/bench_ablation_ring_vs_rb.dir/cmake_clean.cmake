@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ring_vs_rb.dir/bench_ablation_ring_vs_rb.cpp.o"
+  "CMakeFiles/bench_ablation_ring_vs_rb.dir/bench_ablation_ring_vs_rb.cpp.o.d"
+  "bench_ablation_ring_vs_rb"
+  "bench_ablation_ring_vs_rb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ring_vs_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_linkloss.dir/bench_fig6_linkloss.cpp.o"
+  "CMakeFiles/bench_fig6_linkloss.dir/bench_fig6_linkloss.cpp.o.d"
+  "bench_fig6_linkloss"
+  "bench_fig6_linkloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_linkloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_failover.dir/bench_fig7_failover.cpp.o"
+  "CMakeFiles/bench_fig7_failover.dir/bench_fig7_failover.cpp.o.d"
+  "bench_fig7_failover"
+  "bench_fig7_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_serialization.dir/bench_micro_serialization.cpp.o"
+  "CMakeFiles/bench_micro_serialization.dir/bench_micro_serialization.cpp.o.d"
+  "bench_micro_serialization"
+  "bench_micro_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_rates.dir/bench_sweep_rates.cpp.o"
+  "CMakeFiles/bench_sweep_rates.dir/bench_sweep_rates.cpp.o.d"
+  "bench_sweep_rates"
+  "bench_sweep_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

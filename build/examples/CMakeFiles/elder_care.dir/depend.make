@@ -1,0 +1,2 @@
+# Empty dependencies file for elder_care.
+# This may be replaced when dependencies are built.

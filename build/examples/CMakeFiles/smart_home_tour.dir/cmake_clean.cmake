@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_tour.dir/smart_home_tour.cpp.o"
+  "CMakeFiles/smart_home_tour.dir/smart_home_tour.cpp.o.d"
+  "smart_home_tour"
+  "smart_home_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

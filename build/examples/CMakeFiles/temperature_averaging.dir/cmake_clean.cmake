@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_averaging.dir/temperature_averaging.cpp.o"
+  "CMakeFiles/temperature_averaging.dir/temperature_averaging.cpp.o.d"
+  "temperature_averaging"
+  "temperature_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

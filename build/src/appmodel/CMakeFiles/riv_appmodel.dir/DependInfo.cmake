@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appmodel/graph.cpp" "src/appmodel/CMakeFiles/riv_appmodel.dir/graph.cpp.o" "gcc" "src/appmodel/CMakeFiles/riv_appmodel.dir/graph.cpp.o.d"
+  "/root/repo/src/appmodel/logic.cpp" "src/appmodel/CMakeFiles/riv_appmodel.dir/logic.cpp.o" "gcc" "src/appmodel/CMakeFiles/riv_appmodel.dir/logic.cpp.o.d"
+  "/root/repo/src/appmodel/marzullo.cpp" "src/appmodel/CMakeFiles/riv_appmodel.dir/marzullo.cpp.o" "gcc" "src/appmodel/CMakeFiles/riv_appmodel.dir/marzullo.cpp.o.d"
+  "/root/repo/src/appmodel/window.cpp" "src/appmodel/CMakeFiles/riv_appmodel.dir/window.cpp.o" "gcc" "src/appmodel/CMakeFiles/riv_appmodel.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/riv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/riv_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

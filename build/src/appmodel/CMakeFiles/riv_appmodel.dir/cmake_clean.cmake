@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_appmodel.dir/graph.cpp.o"
+  "CMakeFiles/riv_appmodel.dir/graph.cpp.o.d"
+  "CMakeFiles/riv_appmodel.dir/logic.cpp.o"
+  "CMakeFiles/riv_appmodel.dir/logic.cpp.o.d"
+  "CMakeFiles/riv_appmodel.dir/marzullo.cpp.o"
+  "CMakeFiles/riv_appmodel.dir/marzullo.cpp.o.d"
+  "CMakeFiles/riv_appmodel.dir/window.cpp.o"
+  "CMakeFiles/riv_appmodel.dir/window.cpp.o.d"
+  "libriv_appmodel.a"
+  "libriv_appmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_appmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_baseline.dir/broadcast_delivery.cpp.o"
+  "CMakeFiles/riv_baseline.dir/broadcast_delivery.cpp.o.d"
+  "CMakeFiles/riv_baseline.dir/uncoordinated_polling.cpp.o"
+  "CMakeFiles/riv_baseline.dir/uncoordinated_polling.cpp.o.d"
+  "libriv_baseline.a"
+  "libriv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_common.dir/codec.cpp.o"
+  "CMakeFiles/riv_common.dir/codec.cpp.o.d"
+  "CMakeFiles/riv_common.dir/log.cpp.o"
+  "CMakeFiles/riv_common.dir/log.cpp.o.d"
+  "CMakeFiles/riv_common.dir/rng.cpp.o"
+  "CMakeFiles/riv_common.dir/rng.cpp.o.d"
+  "libriv_common.a"
+  "libriv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

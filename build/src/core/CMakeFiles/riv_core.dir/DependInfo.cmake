@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delivery/gap_stream.cpp" "src/core/CMakeFiles/riv_core.dir/delivery/gap_stream.cpp.o" "gcc" "src/core/CMakeFiles/riv_core.dir/delivery/gap_stream.cpp.o.d"
+  "/root/repo/src/core/delivery/gapless_stream.cpp" "src/core/CMakeFiles/riv_core.dir/delivery/gapless_stream.cpp.o" "gcc" "src/core/CMakeFiles/riv_core.dir/delivery/gapless_stream.cpp.o.d"
+  "/root/repo/src/core/event_log.cpp" "src/core/CMakeFiles/riv_core.dir/event_log.cpp.o" "gcc" "src/core/CMakeFiles/riv_core.dir/event_log.cpp.o.d"
+  "/root/repo/src/core/exec/placement.cpp" "src/core/CMakeFiles/riv_core.dir/exec/placement.cpp.o" "gcc" "src/core/CMakeFiles/riv_core.dir/exec/placement.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/riv_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/riv_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/riv_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/riv_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/riv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/riv_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/riv_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/riv_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/riv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/riv_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

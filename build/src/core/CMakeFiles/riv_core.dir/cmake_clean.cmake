@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_core.dir/delivery/gap_stream.cpp.o"
+  "CMakeFiles/riv_core.dir/delivery/gap_stream.cpp.o.d"
+  "CMakeFiles/riv_core.dir/delivery/gapless_stream.cpp.o"
+  "CMakeFiles/riv_core.dir/delivery/gapless_stream.cpp.o.d"
+  "CMakeFiles/riv_core.dir/event_log.cpp.o"
+  "CMakeFiles/riv_core.dir/event_log.cpp.o.d"
+  "CMakeFiles/riv_core.dir/exec/placement.cpp.o"
+  "CMakeFiles/riv_core.dir/exec/placement.cpp.o.d"
+  "CMakeFiles/riv_core.dir/runtime.cpp.o"
+  "CMakeFiles/riv_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/riv_core.dir/wire.cpp.o"
+  "CMakeFiles/riv_core.dir/wire.cpp.o.d"
+  "libriv_core.a"
+  "libriv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/actuator.cpp" "src/devices/CMakeFiles/riv_devices.dir/actuator.cpp.o" "gcc" "src/devices/CMakeFiles/riv_devices.dir/actuator.cpp.o.d"
+  "/root/repo/src/devices/adapters.cpp" "src/devices/CMakeFiles/riv_devices.dir/adapters.cpp.o" "gcc" "src/devices/CMakeFiles/riv_devices.dir/adapters.cpp.o.d"
+  "/root/repo/src/devices/event.cpp" "src/devices/CMakeFiles/riv_devices.dir/event.cpp.o" "gcc" "src/devices/CMakeFiles/riv_devices.dir/event.cpp.o.d"
+  "/root/repo/src/devices/home_bus.cpp" "src/devices/CMakeFiles/riv_devices.dir/home_bus.cpp.o" "gcc" "src/devices/CMakeFiles/riv_devices.dir/home_bus.cpp.o.d"
+  "/root/repo/src/devices/sensor.cpp" "src/devices/CMakeFiles/riv_devices.dir/sensor.cpp.o" "gcc" "src/devices/CMakeFiles/riv_devices.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/riv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_devices.dir/actuator.cpp.o"
+  "CMakeFiles/riv_devices.dir/actuator.cpp.o.d"
+  "CMakeFiles/riv_devices.dir/adapters.cpp.o"
+  "CMakeFiles/riv_devices.dir/adapters.cpp.o.d"
+  "CMakeFiles/riv_devices.dir/event.cpp.o"
+  "CMakeFiles/riv_devices.dir/event.cpp.o.d"
+  "CMakeFiles/riv_devices.dir/home_bus.cpp.o"
+  "CMakeFiles/riv_devices.dir/home_bus.cpp.o.d"
+  "CMakeFiles/riv_devices.dir/sensor.cpp.o"
+  "CMakeFiles/riv_devices.dir/sensor.cpp.o.d"
+  "libriv_devices.a"
+  "libriv_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

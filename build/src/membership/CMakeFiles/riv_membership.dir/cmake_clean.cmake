@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_membership.dir/failure_detector.cpp.o"
+  "CMakeFiles/riv_membership.dir/failure_detector.cpp.o.d"
+  "libriv_membership.a"
+  "libriv_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for riv_membership.
+# This may be replaced when dependencies are built.

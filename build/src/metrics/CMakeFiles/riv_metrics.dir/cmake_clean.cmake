@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/riv_metrics.dir/metrics.cpp.o.d"
+  "libriv_metrics.a"
+  "libriv_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_net.dir/sim_network.cpp.o"
+  "CMakeFiles/riv_net.dir/sim_network.cpp.o.d"
+  "libriv_net.a"
+  "libriv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

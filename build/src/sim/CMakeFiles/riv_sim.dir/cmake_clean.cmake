@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_sim.dir/simulation.cpp.o"
+  "CMakeFiles/riv_sim.dir/simulation.cpp.o.d"
+  "libriv_sim.a"
+  "libriv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

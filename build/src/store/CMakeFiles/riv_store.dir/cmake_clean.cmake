@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_store.dir/replicated_store.cpp.o"
+  "CMakeFiles/riv_store.dir/replicated_store.cpp.o.d"
+  "libriv_store.a"
+  "libriv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libriv_store.a"
+)

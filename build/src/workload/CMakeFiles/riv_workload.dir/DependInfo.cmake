@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cpp" "src/workload/CMakeFiles/riv_workload.dir/apps.cpp.o" "gcc" "src/workload/CMakeFiles/riv_workload.dir/apps.cpp.o.d"
+  "/root/repo/src/workload/deployment.cpp" "src/workload/CMakeFiles/riv_workload.dir/deployment.cpp.o" "gcc" "src/workload/CMakeFiles/riv_workload.dir/deployment.cpp.o.d"
+  "/root/repo/src/workload/fig1.cpp" "src/workload/CMakeFiles/riv_workload.dir/fig1.cpp.o" "gcc" "src/workload/CMakeFiles/riv_workload.dir/fig1.cpp.o.d"
+  "/root/repo/src/workload/mobility.cpp" "src/workload/CMakeFiles/riv_workload.dir/mobility.cpp.o" "gcc" "src/workload/CMakeFiles/riv_workload.dir/mobility.cpp.o.d"
+  "/root/repo/src/workload/topology.cpp" "src/workload/CMakeFiles/riv_workload.dir/topology.cpp.o" "gcc" "src/workload/CMakeFiles/riv_workload.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/riv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/riv_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/riv_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/riv_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/riv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/riv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/riv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_workload.dir/apps.cpp.o"
+  "CMakeFiles/riv_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/riv_workload.dir/deployment.cpp.o"
+  "CMakeFiles/riv_workload.dir/deployment.cpp.o.d"
+  "CMakeFiles/riv_workload.dir/fig1.cpp.o"
+  "CMakeFiles/riv_workload.dir/fig1.cpp.o.d"
+  "CMakeFiles/riv_workload.dir/mobility.cpp.o"
+  "CMakeFiles/riv_workload.dir/mobility.cpp.o.d"
+  "CMakeFiles/riv_workload.dir/topology.cpp.o"
+  "CMakeFiles/riv_workload.dir/topology.cpp.o.d"
+  "libriv_workload.a"
+  "libriv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appmodel.dir/test_appmodel.cpp.o"
+  "CMakeFiles/test_appmodel.dir/test_appmodel.cpp.o.d"
+  "test_appmodel"
+  "test_appmodel.pdb"
+  "test_appmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gap.dir/test_gap.cpp.o"
+  "CMakeFiles/test_gap.dir/test_gap.cpp.o.d"
+  "test_gap"
+  "test_gap.pdb"
+  "test_gap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

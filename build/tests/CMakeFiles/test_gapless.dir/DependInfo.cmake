@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gapless.cpp" "tests/CMakeFiles/test_gapless.dir/test_gapless.cpp.o" "gcc" "tests/CMakeFiles/test_gapless.dir/test_gapless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/riv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/riv_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/appmodel/CMakeFiles/riv_appmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/riv_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/riv_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/riv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/riv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/riv_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

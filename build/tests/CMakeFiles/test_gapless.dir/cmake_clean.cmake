@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gapless.dir/test_gapless.cpp.o"
+  "CMakeFiles/test_gapless.dir/test_gapless.cpp.o.d"
+  "test_gapless"
+  "test_gapless.pdb"
+  "test_gapless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gapless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gapless_unit.dir/test_gapless_unit.cpp.o"
+  "CMakeFiles/test_gapless_unit.dir/test_gapless_unit.cpp.o.d"
+  "test_gapless_unit"
+  "test_gapless_unit.pdb"
+  "test_gapless_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gapless_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
