@@ -1,0 +1,133 @@
+#include "chaos/engine.hpp"
+
+#include <algorithm>
+
+#include "chaos/injector.hpp"
+#include "common/assert.hpp"
+#include "workload/apps.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv::chaos {
+
+ChaosEngine::ChaosEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+ChaosEngine::~ChaosEngine() = default;
+
+void ChaosEngine::add_invariant(std::unique_ptr<Invariant> invariant) {
+  extra_.push_back(std::move(invariant));
+}
+
+ChaosResult ChaosEngine::run() {
+  const ScenarioOptions& sc = options_.scenario;
+  RIV_ASSERT(sc.n_processes >= 1, "scenario needs at least one process");
+
+  // --- the standard home -------------------------------------------------
+  workload::HomeDeployment::Options home_opt;
+  home_opt.seed = sc.seed;
+  home_opt.n_processes = sc.n_processes;
+  workload::HomeDeployment home(home_opt);
+
+  devices::SensorSpec spec;
+  spec.id = kChaosSensor;
+  spec.name = "door";
+  spec.kind = devices::SensorKind::kDoor;
+  spec.tech = devices::Technology::kIp;
+  spec.rate_hz = sc.rate_hz;
+  std::vector<ProcessId> linked;
+  for (int i = 0; i < sc.receivers && i < sc.n_processes; ++i)
+    linked.push_back(home.pid(i));
+  devices::LinkParams link;
+  link.loss_prob = sc.device_link_loss;
+  home.add_sensor(spec, linked, link);
+
+  devices::ActuatorSpec light;
+  light.id = kChaosActuator;
+  light.name = "light";
+  light.tech = devices::Technology::kIp;
+  home.add_actuator(light, {home.pid(0)});
+  home.deploy(workload::apps::turn_light_on_off(
+      kChaosApp, kChaosSensor, kChaosActuator, sc.guarantee));
+
+  // --- the fault plan -----------------------------------------------------
+  PlanOptions plan_opt = options_.plan;
+  plan_opt.n_processes = sc.n_processes;
+  plan_opt.devices = {kChaosSensor};
+  plan_opt.device_links.clear();
+  for (ProcessId p : linked) plan_opt.device_links.emplace_back(kChaosSensor, p);
+  // A quiescence window must cover ring-wide anti-entropy propagation
+  // ((n-1) sync periods) plus failure-detection and a safety margin, or
+  // the converged checks would run before convergence is promised.
+  Duration min_quiesce = core::Config{}.sync_period * (sc.n_processes - 1) +
+                         seconds(6);
+  plan_opt.quiesce_len = std::max(plan_opt.quiesce_len, min_quiesce);
+  FaultPlan plan = generate_plan(sc.seed, plan_opt);
+
+  // --- checker + injector -------------------------------------------------
+  TraceRecorder trace;
+  trace.record("chaos seed=" + std::to_string(sc.seed) +
+               " guarantee=" + appmodel::to_string(sc.guarantee) +
+               " procs=" + std::to_string(sc.n_processes) +
+               " receivers=" + std::to_string(sc.receivers) +
+               " horizon=" + std::to_string(plan_opt.horizon.us) + "us");
+
+  InvariantChecker checker(home, kChaosApp, kChaosSensor);
+  checker.add(std::make_unique<SingleActiveLogic>());
+  checker.add(std::make_unique<NoDuplicateDelivery>());
+  if (sc.guarantee == appmodel::Guarantee::kGapless) {
+    checker.add(std::make_unique<LogSetConvergence>());
+    checker.add(std::make_unique<GaplessPostIngest>());
+  }
+  for (auto& inv : extra_) checker.add(std::move(inv));
+  extra_.clear();
+
+  FaultInjector injector(home, trace);
+  injector.arm(plan, [&checker](TimePoint window_start) {
+    checker.check_converged(window_start, /*final_check=*/false);
+  });
+
+  // --- run ----------------------------------------------------------------
+  home.start();
+  checker.start(options_.check_interval);
+  home.run_for(plan_opt.horizon + seconds(1));
+
+  ChaosResult result;
+  result.quiesced = home.drain_to_quiescence();
+  if (!result.quiesced)
+    trace.record(home.sim().now(), "drain did NOT quiesce");
+  checker.check_converged(home.sim().now(), /*final_check=*/true);
+
+  // --- summarize ----------------------------------------------------------
+  result.violations = checker.violations();
+  result.faults_injected = injector.injected();
+  result.delivered = home.metrics().counter_value(
+      "app" + std::to_string(kChaosApp.value) + ".delivered");
+  result.emitted = home.bus().sensor(kChaosSensor).events_emitted();
+  for (ProcessId p : home.processes()) {
+    result.ingested = std::max(
+        result.ingested,
+        home.metrics().counter_value(
+            "ingest.p" + std::to_string(p.value) + ".s" +
+            std::to_string(kChaosSensor.value)));
+  }
+  // The summary folds observable end-state into the determinism hash, so
+  // a hash match certifies not just "same faults" but "same outcome".
+  std::string logs;
+  for (ProcessId p : home.processes()) {
+    core::EventLog* log = home.process(p).event_log(kChaosApp);
+    logs += " " + to_string(p) + "=" +
+            std::to_string(log ? log->size(kChaosSensor) : 0);
+  }
+  trace.record(home.sim().now(),
+               "summary emitted=" + std::to_string(result.emitted) +
+                   " ingested=" + std::to_string(result.ingested) +
+                   " delivered=" + std::to_string(result.delivered) +
+                   " logs:" + logs);
+
+  result.trace = trace.lines();
+  result.trace_hash = trace.hash();
+  result.trace_digest = trace.digest();
+  return result;
+}
+
+}  // namespace riv::chaos

@@ -1,0 +1,78 @@
+// ChaosEngine: one seed in, one verdict out.
+//
+// Ties the pieces together for the standard chaos scenario (the door→light
+// app of the paper's running example on an n-process home): builds the
+// deployment, derives a FaultPlan from the seed, arms the injector,
+// registers the invariants the deployed guarantee promises, runs the
+// schedule with continuous checking, drains to quiescence, and runs the
+// exact final checks. The result carries every violation (timestamped),
+// the full fault trace, and the trace's determinism hash.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appmodel/graph.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariants.hpp"
+#include "chaos/trace.hpp"
+
+namespace riv::chaos {
+
+struct ScenarioOptions {
+  std::uint64_t seed{1};
+  appmodel::Guarantee guarantee{appmodel::Guarantee::kGapless};
+  int n_processes{4};
+  int receivers{2};             // processes with a link to the sensor
+  double device_link_loss{0.1};  // baseline loss on each sensor link
+  double rate_hz{10.0};
+};
+
+struct EngineOptions {
+  ScenarioOptions scenario;
+  // Plan knobs; n_processes / devices / device_links are filled in from
+  // the scenario. quiesce_len is raised to cover ring-wide anti-entropy
+  // propagation ((n-1) sync periods) so converged checks cannot fire
+  // before convergence is even possible.
+  PlanOptions plan;
+  Duration check_interval{milliseconds(500)};
+};
+
+struct ChaosResult {
+  std::vector<Violation> violations;
+  std::vector<std::string> trace;
+  std::uint64_t trace_hash{0};
+  std::string trace_digest;
+  bool quiesced{false};
+  std::size_t faults_injected{0};
+  std::uint64_t delivered{0};
+  std::uint64_t ingested{0};
+  std::uint64_t emitted{0};
+
+  bool ok() const { return violations.empty() && quiesced; }
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(EngineOptions options);
+  ~ChaosEngine();
+
+  // Register an extra invariant before run() (tests use this to prove the
+  // violation→repro pipeline fires).
+  void add_invariant(std::unique_ptr<Invariant> invariant);
+
+  // Execute the full schedule. Call once per engine instance.
+  ChaosResult run();
+
+ private:
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Invariant>> extra_;
+};
+
+// The scenario's fixed identifiers (shared with tests).
+inline constexpr AppId kChaosApp{1};
+inline constexpr SensorId kChaosSensor{1};
+inline constexpr ActuatorId kChaosActuator{1};
+
+}  // namespace riv::chaos

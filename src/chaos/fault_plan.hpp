@@ -1,0 +1,103 @@
+// Seeded fault plans: a deterministic, timed schedule of fault actions.
+//
+// A FaultPlan is derived from a single 64-bit seed plus static options; the
+// same (seed, options) pair always yields the same plan, action for action.
+// This is the contract that makes every chaos failure a one-line repro:
+// the plan — not ad-hoc test code — is the only source of faults, and the
+// plan is a pure function of its seed.
+//
+// The generator maintains a model of home state (which processes are down,
+// which directed edges are severed, which devices are crashed) so plans
+// are well-formed by construction:
+//   * at least one process is always up (§3.1: invariants are stated for
+//     executions with at least one correct process);
+//   * recover/heal actions pair with the crash/sever that caused them;
+//   * periodic partial-quiescence windows heal everything and give the
+//     protocols time to converge, so converged-state invariants can be
+//     checked *during* the run, not only at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace riv::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kCrashProcess,    // a: victim
+  kRecoverProcess,  // a: process to revive
+  kPartition,       // group: side A; everyone else forms side B
+  kHealPartition,
+  kEdgeDown,        // directed a->b severed (asymmetric partition)
+  kEdgeUp,          // directed a->b restored
+  kEdgeDelay,       // directed a->b: extra one-way delay `dur`
+  kEdgeDelayClear,
+  kEdgeLoss,        // directed a->b: Bernoulli frame loss `value`
+  kEdgeLossClear,
+  kDeviceLinkLoss,  // sensor->b link loss set to `value`; value < 0
+                    // restores the pre-chaos baseline
+  kDeviceCrash,     // sensor crashed (emits nothing, ignores polls)
+  kDeviceRecover,
+  kQuiesceBegin,    // heal everything; convergence window opens
+  kQuiesceEnd,      // convergence window closes; converged checks fire
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultAction {
+  TimePoint at{};
+  FaultKind kind{};
+  ProcessId a{};                 // victim / edge source
+  ProcessId b{};                 // edge destination / device link process
+  SensorId sensor{};             // device actions
+  double value{0.0};             // loss probability
+  Duration dur{};                // delay-spike size / informational hold
+  std::vector<ProcessId> group;  // kPartition: members of side A
+};
+
+// Canonical one-line rendering (used for traces; part of the determinism
+// hash, so keep it stable).
+std::string to_string(const FaultAction& action);
+
+struct PlanOptions {
+  Duration horizon{seconds(60)};        // chaos stops at this virtual time
+  Duration mean_gap{milliseconds(1200)};  // mean spacing between faults
+  Duration quiesce_every{seconds(22)};  // convergence window cadence
+  Duration quiesce_len{seconds(16)};    // convergence window length
+  Duration max_fault_hold{seconds(7)};  // how long a severed edge / delay
+                                        // spike / crashed device lasts
+
+  int n_processes{4};
+  // Device links eligible for link-loss ramps (sensor, receiving process).
+  std::vector<std::pair<SensorId, ProcessId>> device_links;
+  // Devices eligible for crash/recover chaos.
+  std::vector<SensorId> devices;
+
+  // Fault-category toggles.
+  bool crashes{true};
+  bool partitions{true};
+  bool asym_partitions{true};
+  bool delay_spikes{true};
+  bool edge_loss{true};
+  bool device_link_loss{true};
+  bool device_crashes{true};
+
+  double max_edge_loss{0.8};
+  double max_device_link_loss{0.7};
+  Duration max_delay_spike{milliseconds(400)};
+};
+
+struct FaultPlan {
+  std::uint64_t seed{0};
+  PlanOptions options;
+  std::vector<FaultAction> actions;  // sorted by `at`, ties in emit order
+};
+
+// Pure function of (seed, options); see file comment for the guarantees.
+FaultPlan generate_plan(std::uint64_t seed, PlanOptions options);
+
+}  // namespace riv::chaos

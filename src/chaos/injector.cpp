@@ -1,0 +1,127 @@
+#include "chaos/injector.hpp"
+
+namespace riv::chaos {
+
+FaultInjector::FaultInjector(workload::HomeDeployment& home,
+                             TraceRecorder& trace)
+    : home_(&home), trace_(&trace) {}
+
+void FaultInjector::arm(const FaultPlan& plan, QuiesceHook on_quiesce_end) {
+  on_quiesce_end_ = std::move(on_quiesce_end);
+  for (const FaultAction& action : plan.actions) {
+    home_->sim().schedule_at(action.at,
+                             [this, action] { apply(action); });
+  }
+}
+
+void FaultInjector::restore_device_links() {
+  for (const auto& [link, base] : base_link_loss_)
+    home_->bus().sensor(link.first).set_link_loss(link.second, base);
+  base_link_loss_.clear();
+}
+
+void FaultInjector::apply(const FaultAction& action) {
+  bool applied = true;
+  switch (action.kind) {
+    case FaultKind::kCrashProcess: {
+      core::RivuletProcess& p = home_->process(action.a);
+      // Generator invariant: never crashes the last live process. Guard
+      // anyway so a hand-written plan cannot violate §3.1's model.
+      int live = 0;
+      for (ProcessId q : home_->processes())
+        live += home_->process(q).up() ? 1 : 0;
+      if (p.up() && live > 1)
+        p.crash();
+      else
+        applied = false;
+      break;
+    }
+    case FaultKind::kRecoverProcess: {
+      core::RivuletProcess& p = home_->process(action.a);
+      if (!p.up())
+        p.recover();
+      else
+        applied = false;
+      break;
+    }
+    case FaultKind::kPartition: {
+      std::set<ProcessId> side_a(action.group.begin(), action.group.end());
+      std::set<ProcessId> side_b;
+      for (ProcessId p : home_->processes()) {
+        if (side_a.count(p) == 0) side_b.insert(p);
+      }
+      home_->net().set_partition({side_a, side_b});
+      break;
+    }
+    case FaultKind::kHealPartition:
+      home_->net().heal_partition();
+      break;
+    case FaultKind::kEdgeDown:
+      home_->net().set_reachable(action.a, action.b, false);
+      break;
+    case FaultKind::kEdgeUp:
+      home_->net().set_reachable(action.a, action.b, true);
+      break;
+    case FaultKind::kEdgeDelay:
+      home_->net().set_edge_delay(action.a, action.b, action.dur);
+      break;
+    case FaultKind::kEdgeDelayClear:
+      home_->net().set_edge_delay(action.a, action.b, Duration{});
+      break;
+    case FaultKind::kEdgeLoss:
+      home_->net().set_edge_loss(action.a, action.b, action.value);
+      break;
+    case FaultKind::kEdgeLossClear:
+      home_->net().set_edge_loss(action.a, action.b, 0.0);
+      break;
+    case FaultKind::kDeviceLinkLoss: {
+      devices::Sensor& s = home_->bus().sensor(action.sensor);
+      auto key = std::make_pair(action.sensor, action.b);
+      if (action.value < 0.0) {
+        auto it = base_link_loss_.find(key);
+        if (it != base_link_loss_.end()) {
+          s.set_link_loss(action.b, it->second);
+          base_link_loss_.erase(it);
+        } else {
+          applied = false;  // restore without a preceding override
+        }
+      } else {
+        base_link_loss_.emplace(key, s.link_loss(action.b));
+        s.set_link_loss(action.b, action.value);
+      }
+      break;
+    }
+    case FaultKind::kDeviceCrash: {
+      devices::Sensor& s = home_->bus().sensor(action.sensor);
+      if (!s.crashed())
+        s.crash();
+      else
+        applied = false;
+      break;
+    }
+    case FaultKind::kDeviceRecover: {
+      devices::Sensor& s = home_->bus().sensor(action.sensor);
+      if (s.crashed())
+        s.recover();
+      else
+        applied = false;
+      break;
+    }
+    case FaultKind::kQuiesceBegin:
+      home_->heal_all();
+      restore_device_links();
+      window_start_ = home_->sim().now();
+      break;
+    case FaultKind::kQuiesceEnd:
+      break;
+  }
+
+  ++injected_;
+  trace_->record(home_->sim().now(),
+                 to_string(action) + (applied ? "" : " (noop)"));
+
+  if (action.kind == FaultKind::kQuiesceEnd && on_quiesce_end_)
+    on_quiesce_end_(window_start_);
+}
+
+}  // namespace riv::chaos

@@ -1,0 +1,51 @@
+// FaultInjector: applies a FaultPlan to a live HomeDeployment.
+//
+// Every action is scheduled on the deployment's simulation at its planned
+// virtual time and recorded in the trace as it is applied (with an `(noop)`
+// marker when home state made the action redundant — e.g. an edge-up
+// landing inside a quiescence window that already healed the edge). The
+// injector is the ONLY component that mutates fault state during a chaos
+// run; together with the plan's seed-determinism this makes the recorded
+// trace a complete, reproducible account of everything that went wrong.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "chaos/fault_plan.hpp"
+#include "chaos/trace.hpp"
+#include "workload/deployment.hpp"
+
+namespace riv::chaos {
+
+class FaultInjector {
+ public:
+  // `on_quiesce_end(window_start)` fires at each kQuiesceEnd mark, after
+  // the home has had a full quiescence window to converge — the hook the
+  // invariant checker uses for converged-state checks.
+  using QuiesceHook = std::function<void(TimePoint window_start)>;
+
+  FaultInjector(workload::HomeDeployment& home, TraceRecorder& trace);
+
+  // Schedule every action of `plan`. Call once, before or after
+  // HomeDeployment::start(), but before running the simulation.
+  void arm(const FaultPlan& plan, QuiesceHook on_quiesce_end = {});
+
+  std::size_t injected() const { return injected_; }
+
+ private:
+  void apply(const FaultAction& action);
+  // Restore every device link touched by a loss ramp to its baseline.
+  void restore_device_links();
+
+  workload::HomeDeployment* home_;
+  TraceRecorder* trace_;
+  QuiesceHook on_quiesce_end_;
+  // Baseline loss of device links, snapshotted before the first override.
+  std::map<std::pair<SensorId, ProcessId>, double> base_link_loss_;
+  TimePoint window_start_{};
+  std::size_t injected_{0};
+};
+
+}  // namespace riv::chaos

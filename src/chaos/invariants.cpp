@@ -1,0 +1,193 @@
+#include "chaos/invariants.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+namespace riv::chaos {
+
+std::string to_string(const Violation& v) {
+  return "[" + v.invariant + "] at t=" + std::to_string(v.at.us) + "us: " +
+         v.detail;
+}
+
+namespace {
+
+std::string delivered_counter(AppId app) {
+  return "app" + std::to_string(app.value) + ".delivered";
+}
+
+std::string ingest_counter(ProcessId p, SensorId s) {
+  return "ingest.p" + std::to_string(p.value) + ".s" +
+         std::to_string(s.value);
+}
+
+// Events of `sensor` in `p`'s log for `app` emitted at or before `cutoff`
+// (everything when `final_check`).
+std::uint64_t log_count(core::RivuletProcess& p, AppId app, SensorId sensor,
+                        TimePoint cutoff, bool final_check) {
+  core::EventLog* log = p.event_log(app);
+  if (log == nullptr) return 0;
+  if (final_check) return log->size(sensor);
+  std::uint64_t n = 0;
+  for (const core::StoredEvent* se :
+       log->events_after(sensor, TimePoint{-1})) {
+    if (se->event.emitted_at <= cutoff) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void NoDuplicateDelivery::check(const CheckContext& ctx,
+                                std::vector<Violation>& out) const {
+  workload::HomeDeployment& home = *ctx.home;
+  std::uint64_t dups = home.metrics().counter_value(
+      "app" + std::to_string(ctx.app.value) + ".dup_instance_delivery");
+  if (dups > reported_) {
+    out.push_back({name(), home.sim().now(),
+                   std::to_string(dups - reported_) +
+                       " duplicate event(s) fed to a logic instance"});
+    reported_ = dups;
+  }
+}
+
+void NoOverDelivery::check(const CheckContext& ctx,
+                           std::vector<Violation>& out) const {
+  workload::HomeDeployment& home = *ctx.home;
+  std::uint64_t delivered =
+      home.metrics().counter_value(delivered_counter(ctx.app));
+  std::uint64_t emitted = home.bus().sensor(ctx.sensor).events_emitted();
+  if (delivered > emitted) {
+    out.push_back({name(), home.sim().now(),
+                   "delivered=" + std::to_string(delivered) + " > emitted=" +
+                       std::to_string(emitted)});
+  }
+}
+
+void SingleActiveLogic::check(const CheckContext& ctx,
+                              std::vector<Violation>& out) const {
+  workload::HomeDeployment& home = *ctx.home;
+  int actives = 0;
+  std::string who;
+  for (ProcessId p : home.processes()) {
+    core::RivuletProcess& proc = home.process(p);
+    if (proc.up() && proc.logic_active(ctx.app)) {
+      ++actives;
+      if (!who.empty()) who += ",";
+      who += to_string(p);
+    }
+  }
+  if (actives != 1) {
+    out.push_back({name(), home.sim().now(),
+                   "expected exactly one active logic node, have " +
+                       std::to_string(actives) + " {" + who + "}"});
+  }
+}
+
+void LogSetConvergence::check(const CheckContext& ctx,
+                              std::vector<Violation>& out) const {
+  workload::HomeDeployment& home = *ctx.home;
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  std::string counts;
+  for (ProcessId p : home.processes()) {
+    core::RivuletProcess& proc = home.process(p);
+    if (!proc.up()) continue;
+    std::uint64_t n =
+        log_count(proc, ctx.app, ctx.sensor, ctx.cutoff, ctx.final_check);
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+    if (!counts.empty()) counts += " ";
+    counts += to_string(p) + "=" + std::to_string(n);
+  }
+  if (lo != hi) {
+    out.push_back({name(), home.sim().now(),
+                   std::string("live logs disagree") +
+                       (ctx.final_check
+                            ? ""
+                            : " for events emitted before t=" +
+                                  std::to_string(ctx.cutoff.us) + "us") +
+                       ": " + counts});
+  }
+}
+
+void GaplessPostIngest::check(const CheckContext& ctx,
+                              std::vector<Violation>& out) const {
+  if (!ctx.final_check) return;  // delivery counters are cumulative
+  workload::HomeDeployment& home = *ctx.home;
+  std::uint64_t delivered =
+      home.metrics().counter_value(delivered_counter(ctx.app));
+  std::uint64_t ingested_anywhere = 0;
+  std::uint64_t union_log = 0;
+  for (ProcessId p : home.processes()) {
+    ingested_anywhere =
+        std::max(ingested_anywhere,
+                 home.metrics().counter_value(ingest_counter(p, ctx.sensor)));
+    union_log = std::max(
+        union_log,
+        log_count(home.process(p), ctx.app, ctx.sensor, {}, true));
+  }
+  if (delivered < ingested_anywhere) {
+    out.push_back({name(), home.sim().now(),
+                   "delivered=" + std::to_string(delivered) +
+                       " < ingested=" + std::to_string(ingested_anywhere)});
+  }
+  if (delivered < union_log) {
+    out.push_back({name(), home.sim().now(),
+                   "delivered=" + std::to_string(delivered) +
+                       " < replicated-log=" + std::to_string(union_log)});
+  }
+}
+
+InvariantChecker::InvariantChecker(workload::HomeDeployment& home, AppId app,
+                                   SensorId sensor)
+    : home_(&home), app_(app), sensor_(sensor) {}
+
+InvariantChecker::~InvariantChecker() {
+  if (alive_) *alive_ = false;
+}
+
+void InvariantChecker::add(std::unique_ptr<Invariant> invariant) {
+  invariants_.push_back(std::move(invariant));
+}
+
+CheckContext InvariantChecker::context(TimePoint cutoff, bool final_check) {
+  CheckContext ctx;
+  ctx.home = home_;
+  ctx.app = app_;
+  ctx.sensor = sensor_;
+  ctx.cutoff = cutoff;
+  ctx.final_check = final_check;
+  return ctx;
+}
+
+void InvariantChecker::start(Duration interval) {
+  alive_ = std::make_shared<bool>(true);
+  std::shared_ptr<bool> alive = alive_;
+  sim::Simulation& sim = home_->sim();
+  // The closure lives in tick_, not in a shared_ptr it captures (which
+  // would never be reclaimed); queued copies check `alive` before
+  // touching `this`, so destruction mid-run is harmless.
+  tick_ = [this, alive, interval, &sim] {
+    if (!*alive) return;
+    check_continuous();
+    sim.schedule_after(interval, tick_);
+  };
+  sim.schedule_after(interval, tick_);
+}
+
+void InvariantChecker::check_continuous() {
+  ++checks_run_;
+  CheckContext ctx = context({}, false);
+  for (const auto& inv : invariants_) {
+    if (inv->continuous()) inv->check(ctx, violations_);
+  }
+}
+
+void InvariantChecker::check_converged(TimePoint cutoff, bool final_check) {
+  ++checks_run_;
+  CheckContext ctx = context(cutoff, final_check);
+  for (const auto& inv : invariants_) inv->check(ctx, violations_);
+}
+
+}  // namespace riv::chaos

@@ -1,0 +1,37 @@
+#include "chaos/trace.hpp"
+
+namespace riv::chaos {
+
+void TraceRecorder::record(TimePoint at, const std::string& line) {
+  lines_.push_back("t=" + std::to_string(at.us) + "us " + line);
+}
+
+void TraceRecorder::record(const std::string& line) {
+  lines_.push_back(line);
+}
+
+std::uint64_t TraceRecorder::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  auto mix = [&h](char c) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  };
+  for (const std::string& line : lines_) {
+    for (char c : line) mix(c);
+    mix('\n');
+  }
+  return h;
+}
+
+std::string TraceRecorder::digest() const {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t h = hash();
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace riv::chaos

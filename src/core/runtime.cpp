@@ -92,6 +92,7 @@ void RivuletProcess::teardown_state() {
   kv_.reset();
   fd_.reset();
   timers_.reset();
+  periodic_ = nullptr;
 }
 
 store::ReplicatedStore& RivuletProcess::kv() {
@@ -157,14 +158,16 @@ void RivuletProcess::build_state() {
   }
 
   // Initial sync plus periodic anti-entropy (see Config::sync_period).
+  // The closure lives in periodic_ (not in a shared_ptr it captures, which
+  // would be an unreclaimable cycle); queued copies capture only `this`,
+  // and teardown_state() cancels the timers before `this` can die.
   sync_rings(/*force=*/true);
-  auto arm = std::make_shared<std::function<void()>>();
-  *arm = [this, arm] {
+  periodic_ = [this] {
     sync_rings(/*force=*/true);
     retry_pending_commands();
-    timers_->schedule_after(config_.sync_period, *arm);
+    timers_->schedule_after(config_.sync_period, periodic_);
   };
-  timers_->schedule_after(config_.sync_period, *arm);
+  timers_->schedule_after(config_.sync_period, periodic_);
 }
 
 void RivuletProcess::build_app_state(AppState& app,
@@ -420,6 +423,7 @@ void RivuletProcess::promote(AppId id, AppState& app) {
   };
   app.logic = std::make_unique<appmodel::LogicInstance>(*app.graph, *sim_,
                                                         std::move(cb));
+  app.instance_delivered.clear();  // fresh instance epoch
   app.logic->start();
   metrics_->counter(metric_prefix(id) + ".promotions").add(1);
   replay_backlog(id, app);
@@ -482,6 +486,8 @@ void RivuletProcess::deliver_to_logic(AppId id, AppState& app,
   RIV_ASSERT(app.logic != nullptr, "delivering to a shadow logic node");
   ++app.delivered;
   const std::string prefix = metric_prefix(id);
+  if (!app.instance_delivered.insert(e.id).second)
+    metrics_->counter(prefix + ".dup_instance_delivery").add(1);
   metrics::Counter& delivered = metrics_->counter(prefix + ".delivered");
   delivered.add(1);
   metrics_->latency(prefix + ".delay").record(sim_->now() - e.emitted_at);

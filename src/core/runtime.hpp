@@ -16,6 +16,7 @@
 // are installed software and survive crashes.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -95,6 +96,12 @@ class RivuletProcess {
     std::set<CommandId> commands_seen;
     std::map<CommandId, PendingCommand> pending_commands;
     std::uint64_t delivered{0};
+    // Events fed to the CURRENT logic instance (cleared on promotion).
+    // Feeding one instance the same event twice is a delivery-service bug
+    // for both guarantees (§4.2 Gap dedup; Gapless log-exact dedup), so
+    // duplicates are charged to the "<app>.dup_instance_delivery" metric,
+    // which the chaos invariant checker requires to stay zero.
+    std::set<EventId> instance_delivered;
   };
 
   void build_state();
@@ -157,6 +164,9 @@ class RivuletProcess {
   std::unique_ptr<membership::FailureDetector> fd_;
   std::unique_ptr<store::ReplicatedStore> kv_;
   std::map<AppId, AppState> apps_;
+  // Periodic anti-entropy + command-retry closure; queued timer copies
+  // capture `this` only, so no shared_ptr self-cycle (leak) exists.
+  std::function<void()> periodic_;
   bool up_{false};
   bool started_{false};
   std::uint32_t next_cmd_seq_{1};

@@ -56,6 +56,12 @@ void Sensor::set_link_loss(ProcessId process, double loss_prob) {
   it->second.params.loss_prob = loss_prob;
 }
 
+double Sensor::link_loss(ProcessId process) const {
+  auto it = links_.find(process);
+  RIV_ASSERT(it != links_.end(), "no such link");
+  return it->second.params.loss_prob;
+}
+
 std::vector<ProcessId> Sensor::linked_processes() const {
   std::vector<ProcessId> out;
   out.reserve(links_.size());

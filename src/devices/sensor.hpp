@@ -106,6 +106,7 @@ class Sensor {
   // Harmless if absent; transmissions already in the air still land.
   void remove_link(ProcessId process);
   void set_link_loss(ProcessId process, double loss_prob);
+  double link_loss(ProcessId process) const;
   std::vector<ProcessId> linked_processes() const;
   bool linked_to(ProcessId process) const;
 

@@ -84,6 +84,42 @@ bool SimNetwork::connected(ProcessId a, ProcessId b) const {
   return ia->second == ib->second;
 }
 
+void SimNetwork::set_reachable(ProcessId src, ProcessId dst, bool up) {
+  if (up)
+    edge_down_.erase({src, dst});
+  else
+    edge_down_.insert({src, dst});
+}
+
+void SimNetwork::clear_reachable_overrides() { edge_down_.clear(); }
+
+bool SimNetwork::reachable(ProcessId src, ProcessId dst) const {
+  if (src == dst) return true;
+  if (!connected(src, dst)) return false;
+  return edge_down_.count({src, dst}) == 0;
+}
+
+void SimNetwork::set_edge_delay(ProcessId src, ProcessId dst,
+                                Duration extra) {
+  if (extra.us <= 0)
+    edge_delay_.erase({src, dst});
+  else
+    edge_delay_[{src, dst}] = extra;
+}
+
+void SimNetwork::set_edge_loss(ProcessId src, ProcessId dst,
+                               double loss_prob) {
+  if (loss_prob <= 0.0)
+    edge_loss_.erase({src, dst});
+  else
+    edge_loss_[{src, dst}] = loss_prob;
+}
+
+void SimNetwork::clear_edge_overrides() {
+  edge_delay_.clear();
+  edge_loss_.clear();
+}
+
 int SimNetwork::up_count() const {
   int n = 0;
   for (const auto& [p, up] : up_)
@@ -104,7 +140,12 @@ Duration SimNetwork::frame_delay(std::size_t bytes) {
 
 void SimNetwork::send_frame(Message msg) {
   if (!process_up(msg.src)) return;  // a dead process sends nothing
-  if (!connected(msg.src, msg.dst)) return;  // TCP reset: frame lost
+  if (!reachable(msg.src, msg.dst)) return;  // TCP reset: frame lost
+  if (!edge_loss_.empty()) {
+    auto lit = edge_loss_.find({msg.src, msg.dst});
+    if (lit != edge_loss_.end() && sim_->rng().bernoulli(lit->second))
+      return;  // lossy path: frame dropped on the air
+  }
 
   const char* type_name = to_string(msg.type);
   metrics_->counter(std::string("net.msgs.") + type_name).add(1);
@@ -112,6 +153,10 @@ void SimNetwork::send_frame(Message msg) {
       .add(msg.wire_size());
 
   TimePoint deliver_at = sim_->now() + frame_delay(msg.wire_size());
+  if (!edge_delay_.empty()) {
+    auto dit = edge_delay_.find({msg.src, msg.dst});
+    if (dit != edge_delay_.end()) deliver_at = deliver_at + dit->second;
+  }
   // Enforce per-pair FIFO: a later frame never overtakes an earlier one.
   auto key = std::make_pair(msg.src, msg.dst);
   auto it = last_delivery_.find(key);
@@ -125,7 +170,7 @@ void SimNetwork::send_frame(Message msg) {
     // Re-check at delivery time: a crash or partition that happened while
     // the frame was in flight loses it.
     if (!process_up(msg.dst) || !process_up(msg.src) ||
-        !connected(msg.src, msg.dst))
+        !reachable(msg.src, msg.dst))
       return;
     auto it = endpoints_.find(msg.dst);
     if (it == endpoints_.end()) return;

@@ -15,7 +15,10 @@
 // Reliability model: in-order reliable delivery per (src,dst) while both
 // processes are up and mutually reachable; a crash or partition at send
 // or delivery time loses the frame (TCP reset). Partitions are arbitrary
-// groupings of processes (§3.1 allows arbitrary partitions).
+// groupings of processes (§3.1 allows arbitrary partitions). Layered under
+// the group partitions, the chaos engine can force individual *directed*
+// edges down (asymmetric reachability: A hears B but not vice versa) and
+// override per-edge delay/loss — see set_reachable / set_edge_*.
 //
 // Byte accounting: every frame put on the wire increments
 //   net.msgs.<type> and net.bytes.<type>
@@ -66,6 +69,23 @@ class SimNetwork {
   void heal_partition();
   bool connected(ProcessId a, ProcessId b) const;
 
+  // --- Directed-edge fault hooks (chaos engine) ----------------------
+  // Asymmetric reachability: mark the directed link src->dst down (frames
+  // that way are lost) while dst->src stays untouched. Layered UNDER group
+  // partitions: a frame crosses iff the partition allows it AND no edge
+  // override blocks it. heal_partition() does not clear edge overrides.
+  void set_reachable(ProcessId src, ProcessId dst, bool up);
+  void clear_reachable_overrides();
+  // Directed deliverability: partition check plus edge override.
+  bool reachable(ProcessId src, ProcessId dst) const;
+
+  // Per-directed-edge quality overrides: extra one-way delay (spike on a
+  // congested path) and Bernoulli frame loss (lossy WiFi path). A zero
+  // delay / zero loss value removes the override.
+  void set_edge_delay(ProcessId src, ProcessId dst, Duration extra);
+  void set_edge_loss(ProcessId src, ProcessId dst, double loss_prob);
+  void clear_edge_overrides();
+
   // Number of processes currently up (drives the congestion term).
   int up_count() const;
 
@@ -88,6 +108,10 @@ class SimNetwork {
   std::map<ProcessId, bool> up_;
   std::map<ProcessId, int> partition_group_;  // empty map = no partition
   bool partitioned_{false};
+  // Directed edges forced down (asymmetric partitions); absent = up.
+  std::set<std::pair<ProcessId, ProcessId>> edge_down_;
+  std::map<std::pair<ProcessId, ProcessId>, Duration> edge_delay_;
+  std::map<std::pair<ProcessId, ProcessId>, double> edge_loss_;
   std::map<std::pair<ProcessId, ProcessId>, TimePoint> last_delivery_;
   std::size_t in_flight_{0};
 };

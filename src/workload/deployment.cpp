@@ -53,7 +53,60 @@ devices::Actuator& HomeDeployment::add_actuator(
 void HomeDeployment::deploy(appmodel::AppGraph graph) {
   auto shared =
       std::make_shared<const appmodel::AppGraph>(std::move(graph));
+  deployed_apps_.push_back(shared->id);
   for (auto& proc : procs_) proc->deploy(shared);
+}
+
+void HomeDeployment::heal_all() {
+  net_.heal_partition();
+  net_.clear_reachable_overrides();
+  net_.clear_edge_overrides();
+  for (auto& proc : procs_) {
+    if (!proc->up()) proc->recover();
+  }
+  for (SensorId s : bus_.sensors()) {
+    if (bus_.sensor(s).crashed()) bus_.sensor(s).recover();
+  }
+}
+
+bool HomeDeployment::drain_to_quiescence(Duration step, Duration stable_for,
+                                         Duration max_wait) {
+  for (SensorId s : bus_.sensors()) bus_.sensor(s).stop();
+  heal_all();
+
+  // Fingerprint of everything the protocols may still be converging:
+  // per-process per-app delivered counts and per-sensor log sizes, plus
+  // which processes hold an active logic node.
+  auto fingerprint = [this] {
+    std::vector<std::uint64_t> fp;
+    for (auto& proc : procs_) {
+      for (AppId app : deployed_apps_) {
+        fp.push_back(proc->delivered(app));
+        fp.push_back(proc->logic_active(app) ? 1 : 0);
+        core::EventLog* log = proc->event_log(app);
+        if (log == nullptr) continue;
+        for (SensorId s : bus_.sensors())
+          fp.push_back(log->size(s));
+      }
+    }
+    return fp;
+  };
+
+  TimePoint deadline = sim_.now() + max_wait;
+  std::vector<std::uint64_t> last = fingerprint();
+  Duration stable{};
+  while (sim_.now() < deadline) {
+    sim_.run_for(step);
+    std::vector<std::uint64_t> cur = fingerprint();
+    if (cur == last) {
+      stable += step;
+      if (stable >= stable_for) return true;
+    } else {
+      stable = Duration{};
+      last = std::move(cur);
+    }
+  }
+  return false;
 }
 
 void HomeDeployment::start() {

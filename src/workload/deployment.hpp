@@ -46,12 +46,30 @@ class HomeDeployment {
 
   // Install an app on every process.
   void deploy(appmodel::AppGraph graph);
+  const std::vector<AppId>& deployed_apps() const { return deployed_apps_; }
 
   // Start all Rivulet processes and all push sensors.
   void start();
 
   void run_for(Duration d) { sim_.run_for(d); }
   void run_until(TimePoint t) { sim_.run_until(t); }
+
+  // Repair every injected fault: recover crashed processes and devices,
+  // heal partitions, clear directed-edge reachability/delay/loss
+  // overrides. (Device link-loss baselines are the caller's to restore —
+  // the deployment does not know what "normal" loss was.)
+  void heal_all();
+
+  // Stop push-sensor emission, repair all faults, then run the simulation
+  // until protocol activity no longer changes any event log, delivery
+  // counter, or logic-role assignment for `stable_for` of virtual time
+  // (covers the anti-entropy period), bounded by `max_wait`. Returns true
+  // when the deployment quiesced within the bound. Replaces the old
+  // "run 15 more seconds and hope" slack in tests: after a successful
+  // drain, convergence assertions can be exact.
+  bool drain_to_quiescence(Duration step = milliseconds(500),
+                           Duration stable_for = seconds(12),
+                           Duration max_wait = seconds(240));
 
   sim::Simulation& sim() { return sim_; }
   metrics::Registry& metrics() { return metrics_; }
@@ -72,6 +90,7 @@ class HomeDeployment {
   core::Config config_;
   std::vector<ProcessId> processes_;
   std::vector<std::unique_ptr<core::RivuletProcess>> procs_;
+  std::vector<AppId> deployed_apps_;
 };
 
 }  // namespace riv::workload

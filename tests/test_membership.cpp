@@ -121,6 +121,52 @@ TEST_F(Fixture, PartitionSplitsViewsOnBothSides) {
   EXPECT_EQ(fds.at(ProcessId{4})->view().size(), 4u);
 }
 
+TEST_F(Fixture, AsymmetricPartitionSplitsViewsAsymmetrically) {
+  // Keep-alives from 1 still reach 2, but nothing from 2 reaches 1: the
+  // local views must disagree — 1 drops 2 while 2 keeps 1. This is the
+  // one-directional link failure of §2.1 that symmetric partition tests
+  // cannot exercise.
+  for (std::uint16_t p = 1; p <= 3; ++p) make(p, 3).start();
+  sim.run_for(seconds(5));
+  net.set_reachable(ProcessId{2}, ProcessId{1}, false);
+  sim.run_for(seconds(4));  // > 2 s timeout + period
+  EXPECT_FALSE(fds.at(ProcessId{1})->alive(ProcessId{2}));
+  EXPECT_TRUE(fds.at(ProcessId{2})->alive(ProcessId{1}));
+  // Third parties hear both sides and suspect no one.
+  EXPECT_TRUE(fds.at(ProcessId{3})->alive(ProcessId{1}));
+  EXPECT_TRUE(fds.at(ProcessId{3})->alive(ProcessId{2}));
+  EXPECT_EQ(fds.at(ProcessId{1})->view().size(), 2u);
+  EXPECT_EQ(fds.at(ProcessId{2})->view().size(), 3u);
+  EXPECT_EQ(fds.at(ProcessId{3})->view().size(), 3u);
+}
+
+TEST_F(Fixture, AsymmetricPartitionHealRestoresFullViews) {
+  for (std::uint16_t p = 1; p <= 3; ++p) make(p, 3).start();
+  sim.run_for(seconds(5));
+  net.set_reachable(ProcessId{2}, ProcessId{1}, false);
+  sim.run_for(seconds(4));
+  EXPECT_FALSE(fds.at(ProcessId{1})->alive(ProcessId{2}));
+  net.set_reachable(ProcessId{2}, ProcessId{1}, true);
+  sim.run_for(seconds(2));  // next keep-alive refreshes the entry
+  EXPECT_TRUE(fds.at(ProcessId{1})->alive(ProcessId{2}));
+  for (std::uint16_t p = 1; p <= 3; ++p)
+    EXPECT_EQ(fds.at(ProcessId{p})->view().size(), 3u);
+}
+
+TEST_F(Fixture, MutualAsymmetricSeversActLikeSymmetricPartition) {
+  // Severing both directions one edge at a time must converge to the
+  // same views a symmetric two-way split would produce.
+  for (std::uint16_t p = 1; p <= 2; ++p) make(p, 2).start();
+  sim.run_for(seconds(5));
+  net.set_reachable(ProcessId{1}, ProcessId{2}, false);
+  net.set_reachable(ProcessId{2}, ProcessId{1}, false);
+  sim.run_for(seconds(4));
+  EXPECT_FALSE(fds.at(ProcessId{1})->alive(ProcessId{2}));
+  EXPECT_FALSE(fds.at(ProcessId{2})->alive(ProcessId{1}));
+  EXPECT_EQ(fds.at(ProcessId{1})->view().size(), 1u);
+  EXPECT_EQ(fds.at(ProcessId{2})->view().size(), 1u);
+}
+
 TEST_F(Fixture, ViewChangeCallbackFires) {
   int changes = 0;
   auto& fd1 = make(1, 2);

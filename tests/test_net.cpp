@@ -1,5 +1,6 @@
 // Unit tests for the simulated WiFi network: delivery, FIFO ordering,
-// crash and partition loss semantics, latency model, byte accounting.
+// crash and partition loss semantics, asymmetric (one-directional) severs
+// and per-edge delay/loss overrides, latency model, byte accounting.
 #include <gtest/gtest.h>
 
 #include "net/sim_network.hpp"
@@ -159,6 +160,105 @@ TEST_F(NetFixture, CongestionTermGrowsWithProcessCount) {
   Duration d1 = first - TimePoint{};
   Duration d2 = second - t1;
   EXPECT_GT(d2.us, d1.us);  // more processes, more keep-alive congestion
+}
+
+TEST_F(NetFixture, AsymmetricSeverBlocksOneDirectionOnly) {
+  ProcessId a{1}, b{2};
+  int got_a = 0, got_b = 0;
+  net.endpoint(a).set_handler([&](const Message&) { ++got_a; });
+  net.endpoint(b).set_handler([&](const Message&) { ++got_b; });
+  net.set_reachable(a, b, false);  // a -> b severed; b -> a still works
+  EXPECT_FALSE(net.reachable(a, b));
+  EXPECT_TRUE(net.reachable(b, a));
+  EXPECT_TRUE(net.connected(a, b));  // symmetric layer is untouched
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  net.endpoint(b).send(a, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got_b, 0);
+  EXPECT_EQ(got_a, 1);
+}
+
+TEST_F(NetFixture, AsymmetricSeverRestores) {
+  ProcessId a{1}, b{2};
+  int got = 0;
+  net.endpoint(b).set_handler([&](const Message&) { ++got; });
+  net.set_reachable(a, b, false);
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got, 0);
+  net.set_reachable(a, b, true);
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, AsymmetricSeverWhileInFlightDropsAtDelivery) {
+  ProcessId a{1}, b{2};
+  int got = 0;
+  net.endpoint(b).set_handler([&](const Message&) { ++got; });
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  net.set_reachable(a, b, false);  // severed before the frame lands
+  sim.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, AsymmetricLayersUnderGroupPartition) {
+  // Directed severs compose with symmetric partitions: healing the
+  // partition does not resurrect a severed directed edge, and clearing
+  // the sever does not punch through a partition.
+  ProcessId a{1}, b{2};
+  net.endpoint(a);
+  net.endpoint(b);
+  net.set_reachable(a, b, false);
+  net.set_partition({{a}, {b}});
+  EXPECT_FALSE(net.reachable(a, b));
+  EXPECT_FALSE(net.reachable(b, a));
+  net.heal_partition();
+  EXPECT_FALSE(net.reachable(a, b));
+  EXPECT_TRUE(net.reachable(b, a));
+  net.set_partition({{a}, {b}});
+  net.clear_reachable_overrides();
+  EXPECT_FALSE(net.reachable(a, b));  // partition still in force
+  net.heal_partition();
+  EXPECT_TRUE(net.reachable(a, b));
+}
+
+TEST_F(NetFixture, EdgeDelayAddsDirectedExtraLatency) {
+  ProcessId a{1}, b{2};
+  TimePoint ab{}, ba{};
+  net.endpoint(a).set_handler([&](const Message&) { ba = sim.now(); });
+  net.endpoint(b).set_handler([&](const Message&) { ab = sim.now(); });
+  net.set_edge_delay(a, b, milliseconds(200));
+  TimePoint t0 = sim.now();
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  net.endpoint(b).send(a, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_GE((ab - t0).us, milliseconds(200).us);  // spiked direction
+  EXPECT_LT((ba - t0).us, milliseconds(200).us);  // reverse unaffected
+  net.clear_edge_overrides();
+  TimePoint t1 = sim.now();
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_LT((ab - t1).us, milliseconds(200).us);
+}
+
+TEST_F(NetFixture, EdgeLossDropsDirectedFrames) {
+  ProcessId a{1}, b{2};
+  int got_b = 0, got_a = 0;
+  net.endpoint(a).set_handler([&](const Message&) { ++got_a; });
+  net.endpoint(b).set_handler([&](const Message&) { ++got_b; });
+  net.set_edge_loss(a, b, 1.0);  // certain loss a -> b
+  for (int i = 0; i < 20; ++i) {
+    net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+    net.endpoint(b).send(a, MsgType::kGapForward, payload(4));
+  }
+  sim.run_all();
+  EXPECT_EQ(got_b, 0);
+  EXPECT_EQ(got_a, 20);
+  net.set_edge_loss(a, b, 0.0);
+  net.endpoint(a).send(b, MsgType::kGapForward, payload(4));
+  sim.run_all();
+  EXPECT_EQ(got_b, 1);
 }
 
 TEST(WifiModel, DeterministicGivenSeed) {
