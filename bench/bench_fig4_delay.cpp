@@ -55,8 +55,9 @@ void run_placement(const char* label, int receiver_index) {
 }  // namespace
 }  // namespace riv::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riv::bench;
+  Output out = parse_output(argc, argv);
   print_header(
       "Figure 4a: delay, receiver farthest from the app-bearing process",
       "Gap: small, slowly increasing with n; Gapless: grows with n "
@@ -68,5 +69,12 @@ int main() {
       "Figure 4b: delay when the app-bearing process receives directly",
       "~1-2 ms for small events, independent of the number of processes");
   run_placement("Fig 4b (receiver = app-bearing process p1)", 0);
+  {
+    ScenarioOptions opt;
+    opt.n_processes = 5;
+    opt.receiver_indices = {1};
+    opt.seed = 105;
+    dump_reference_run(out, "fig4_delay", opt, riv::seconds(60));
+  }
   return 0;
 }

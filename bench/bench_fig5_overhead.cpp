@@ -103,8 +103,9 @@ void run_for_size(std::uint32_t payload, const char* size_name) {
 }  // namespace
 }  // namespace riv::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riv::bench;
+  Output out = parse_output(argc, argv);
   print_header(
       "Figure 5: network overhead normalized against Gap (5 processes)",
       "Gapless constant in m; broadcast ~1.2x Gapless at m=2, ~2x at m=3, "
@@ -112,5 +113,12 @@ int main() {
       "at 20KB");
   run_for_size(4, "4B");
   run_for_size(20 * 1024, "20KB");
+  {
+    ScenarioOptions opt;
+    opt.n_processes = 5;
+    opt.receiver_indices = {1};
+    opt.seed = 205;
+    dump_reference_run(out, "fig5_overhead", opt, riv::seconds(60));
+  }
   return 0;
 }

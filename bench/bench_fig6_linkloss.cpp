@@ -41,8 +41,9 @@ double delivered_pct(appmodel::Guarantee guarantee, int receivers,
 }  // namespace
 }  // namespace riv::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riv::bench;
+  Output out = parse_output(argc, argv);
   print_header(
       "Figure 6: % events delivered vs link loss and receiving processes",
       "Gap ~ 100*(1-p); Gapless ~ 100*(1-p^m): 99% at p=0.1,m=2; ~75/94/97% "
@@ -59,6 +60,14 @@ int main() {
         std::printf("  %6.1f", delivered_pct(g, m, p, 600, 3));
       std::printf("\n");
     }
+  }
+  {
+    ScenarioOptions opt;
+    opt.n_processes = 5;
+    opt.receiver_indices = {1, 2};
+    opt.link_loss = 0.3;
+    opt.seed = 600;
+    dump_reference_run(out, "fig6_linkloss", opt, riv::seconds(60));
   }
   return 0;
 }

@@ -50,13 +50,21 @@ void run(appmodel::Guarantee guarantee) {
 }  // namespace
 }  // namespace riv::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riv::bench;
+  Output out = parse_output(argc, argv);
   print_header(
       "Figure 7: events received by the active logic node over time",
       "Gap: ~2s pause at t=24s, ~20 events permanently lost; Gapless: "
       "spike of backlogged events at t~26-27s, nothing lost");
   run(riv::appmodel::Guarantee::kGap);
   run(riv::appmodel::Guarantee::kGapless);
+  {
+    ScenarioOptions opt;
+    opt.n_processes = 5;
+    opt.receiver_indices = {1};
+    opt.seed = 700;
+    dump_reference_run(out, "fig7_failover", opt, riv::seconds(60));
+  }
   return 0;
 }

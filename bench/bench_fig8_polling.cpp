@@ -143,8 +143,9 @@ void uncoordinated_polls(std::uint64_t seed, double out[4]) {
 }  // namespace
 }  // namespace riv::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riv::bench;
+  Output out = parse_output(argc, argv);
   print_header(
       "Figure 8: poll requests normalized against optimal (1 per epoch)",
       "coordinated 1.04-1.13x; uncoordinated 1.5-2.5x; Gap 1.0x");
@@ -172,5 +173,12 @@ int main() {
   std::printf(
       "\nBattery impact: uncoordinated polling drains the sensors'\n"
       "batteries by the same factor (every request costs one unit).\n");
+  {
+    ScenarioOptions opt;
+    opt.n_processes = 5;
+    opt.receiver_indices = {1};
+    opt.seed = 800;
+    dump_reference_run(out, "fig8_polling", opt, riv::seconds(60));
+  }
   return 0;
 }

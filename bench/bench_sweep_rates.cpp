@@ -33,8 +33,9 @@ double delivered_pct(appmodel::Guarantee g, double rate,
 }  // namespace
 }  // namespace riv::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riv::bench;
+  Output out = parse_output(argc, argv);
   print_header(
       "Sweep (§8.3 claim): Gap/Gapless delivery under 30% loss is "
       "insensitive to event rate and size",
@@ -54,6 +55,15 @@ int main() {
       std::printf("%-8.0f %-6s %10.1f %12.1f\n", rate, size_names[s], gap,
                   gapless);
     }
+  }
+  {
+    ScenarioOptions opt;
+    opt.n_processes = 5;
+    opt.receiver_indices = {1, 2, 3};
+    opt.link_loss = 0.3;
+    opt.rate_hz = 10.0;
+    opt.seed = 1500;
+    dump_reference_run(out, "sweep_rates", opt, riv::seconds(60));
   }
   return 0;
 }

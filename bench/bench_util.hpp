@@ -9,14 +9,75 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "workload/apps.hpp"
 #include "workload/deployment.hpp"
 
 namespace riv::bench {
+
+// Where bench artifacts (counter dumps, trace files) go. Every bench
+// binary accepts `--out DIR`; without it no files are written at all —
+// results only go to stdout. Nothing is ever written relative to the
+// current working directory.
+struct Output {
+  std::string dir;
+
+  bool enabled() const { return !dir.empty(); }
+
+  // Open DIR/<name> for writing (creating DIR first). Returns nullptr —
+  // and prints a warning — when --out was not given or the open fails;
+  // callers simply skip the dump.
+  std::FILE* open(const std::string& name) const {
+    if (!enabled()) return nullptr;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = dir + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return f;
+  }
+
+  std::string path_for(const std::string& name) const {
+    return dir + "/" + name;
+  }
+};
+
+// Parse `--out DIR` (ignoring every other argument, which benches do not
+// take). Exits with status 2 on a dangling --out.
+inline Output parse_output(int argc, char** argv) {
+  Output out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+        std::exit(2);
+      }
+      out.dir = argv[++i];
+    }
+  }
+  return out;
+}
+
+// Dump every counter of a run's metrics registry as CSV under
+// --out/<name>.csv; no-op without --out.
+inline void dump_counters(const Output& out, const std::string& name,
+                          const metrics::Registry& m) {
+  std::FILE* f = out.open(name + ".csv");
+  if (f == nullptr) return;
+  std::fprintf(f, "counter,value\n");
+  for (const auto& [cname, counter] : m.counters())
+    std::fprintf(f, "%s,%llu\n", cname.c_str(),
+                 static_cast<unsigned long long>(counter.value()));
+  std::fclose(f);
+  std::printf("counters written: %s\n", out.path_for(name + ".csv").c_str());
+}
 
 inline constexpr AppId kApp{1};
 inline constexpr SensorId kSensor{1};
@@ -83,6 +144,31 @@ inline std::uint64_t delivery_bytes(metrics::Registry& m) {
          m.counter_value("net.bytes.gap_forward") +
          m.counter_value("net.bytes.sync_request") +
          m.counter_value("net.bytes.sync_response");
+}
+
+// With --out: re-run the bench's canonical scenario once with the flight
+// recorder on, then write <name>.csv (every metrics counter) and
+// <name>.rivtrace (the protocol-level flight trace, inspectable with
+// tools/trace_diff --dump) under the --out directory. Without --out this
+// is a no-op — benches never write cwd-relative files.
+inline void dump_reference_run(const Output& out, const std::string& name,
+                               const ScenarioOptions& opt,
+                               Duration run_len) {
+  if (!out.enabled()) return;
+  trace::Recorder rec(trace::kAllComponents &
+                      ~trace::component_bit(trace::Component::kSim));
+  trace::Scope scope(rec);
+  auto home = make_scenario(opt);
+  home->start();
+  home->run_for(run_len);
+  dump_counters(out, name, home->metrics());
+  std::string path = out.path_for(name + ".rivtrace");
+  std::string err;
+  if (rec.save(path, &err))
+    std::printf("flight trace written: %s (%zu records)\n", path.c_str(),
+                rec.size());
+  else
+    std::fprintf(stderr, "warning: %s\n", err.c_str());
 }
 
 inline void print_header(const std::string& title,

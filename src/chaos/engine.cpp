@@ -1,6 +1,7 @@
 #include "chaos/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "chaos/injector.hpp"
 #include "common/assert.hpp"
@@ -21,6 +22,18 @@ void ChaosEngine::add_invariant(std::unique_ptr<Invariant> invariant) {
 ChaosResult ChaosEngine::run() {
   const ScenarioOptions& sc = options_.scenario;
   RIV_ASSERT(sc.n_processes >= 1, "scenario needs at least one process");
+
+  // Install the flight recorder (if requested) before any simulation
+  // object exists, so construction-time activity is captured too. The
+  // Scope lasts the whole run and the recorder outlives it via the shared
+  // pointer handed back in the result.
+  std::shared_ptr<riv::trace::Recorder> flight;
+  std::optional<riv::trace::Scope> flight_scope;
+  if (options_.flight) {
+    flight =
+        std::make_shared<riv::trace::Recorder>(options_.flight_mask);
+    flight_scope.emplace(*flight);
+  }
 
   // --- the standard home -------------------------------------------------
   workload::HomeDeployment::Options home_opt;
@@ -127,6 +140,7 @@ ChaosResult ChaosEngine::run() {
   result.trace = trace.lines();
   result.trace_hash = trace.hash();
   result.trace_digest = trace.digest();
+  result.flight = std::move(flight);
   return result;
 }
 

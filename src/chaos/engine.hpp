@@ -17,6 +17,7 @@
 #include "chaos/fault_plan.hpp"
 #include "chaos/invariants.hpp"
 #include "chaos/trace.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::chaos {
 
@@ -37,6 +38,12 @@ struct EngineOptions {
   // before convergence is even possible.
   PlanOptions plan;
   Duration check_interval{milliseconds(500)};
+  // When set, the run records a full flight-recorder trace (src/trace)
+  // covering the components in flight_mask; the recorder lands in
+  // ChaosResult::flight and can be saved as a replayable .rivtrace
+  // artifact (tools/chaos_run --trace).
+  bool flight{false};
+  std::uint32_t flight_mask{riv::trace::kAllComponents};
 };
 
 struct ChaosResult {
@@ -44,6 +51,8 @@ struct ChaosResult {
   std::vector<std::string> trace;
   std::uint64_t trace_hash{0};
   std::string trace_digest;
+  // Flight-recorder trace (only when EngineOptions::flight was set).
+  std::shared_ptr<riv::trace::Recorder> flight;
   bool quiesced{false};
   std::size_t faults_injected{0};
   std::uint64_t delivered{0};

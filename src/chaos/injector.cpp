@@ -1,5 +1,7 @@
 #include "chaos/injector.hpp"
 
+#include "trace/trace.hpp"
+
 namespace riv::chaos {
 
 FaultInjector::FaultInjector(workload::HomeDeployment& home,
@@ -119,6 +121,11 @@ void FaultInjector::apply(const FaultAction& action) {
   ++injected_;
   trace_->record(home_->sim().now(),
                  to_string(action) + (applied ? "" : " (noop)"));
+  if (trace::active(trace::Component::kChaos)) {
+    trace::emit(home_->sim().now(), ProcessId{0}, trace::Component::kChaos,
+                trace::Kind::kFault,
+                to_string(action) + (applied ? "" : " (noop)"));
+  }
 
   if (action.kind == FaultKind::kQuiesceEnd && on_quiesce_end_)
     on_quiesce_end_(window_start_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::core {
 
@@ -54,6 +55,12 @@ void GapStream::on_forward(ProcessId from, const wire::EventPayload& p) {
 
 void GapStream::deliver_dedup(const devices::SensorEvent& e) {
   if (recent_.count(e.id) != 0) return;
+  if (trace::active(trace::Component::kDelivery)) {
+    trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
+                trace::Kind::kIngest,
+                "app=" + std::to_string(ctx_.app.value) +
+                    " event=" + riv::to_string(e.id));
+  }
   recent_.insert(e.id);
   recent_order_.push_back(e.id);
   while (recent_order_.size() > dedup_window_) {
@@ -86,7 +93,13 @@ void GapStream::start() {
 void GapStream::schedule_epoch(std::uint32_t epoch) {
   const Duration e = ctx_.edge.polling.epoch;
   const TimePoint boundary{static_cast<std::int64_t>(epoch) * e.us};
-  ctx_.timers->schedule_at(boundary, [this, epoch] {
+  ctx_.timers->schedule_at(boundary, [this, epoch, boundary] {
+    if (trace::active(trace::Component::kDelivery)) {
+      trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
+                  trace::Kind::kEpoch,
+                  "app=" + std::to_string(ctx_.app.value) +
+                      " epoch=" + std::to_string(epoch));
+    }
     if (forwarder() == ctx_.self) {
       ++polls_issued_;
       ctx_.poll(epoch);

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::core {
 
@@ -30,6 +31,14 @@ void GaplessStream::on_device_event(const devices::SensorEvent& e) {
 void GaplessStream::accept_new_event(const devices::SensorEvent& e,
                                      std::set<ProcessId> seen,
                                      std::set<ProcessId> need) {
+  if (trace::active(trace::Component::kDelivery)) {
+    trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
+                trace::Kind::kIngest,
+                "app=" + std::to_string(ctx_.app.value) +
+                    " event=" + riv::to_string(e.id) +
+                    " S=" + std::to_string(seen.size()) +
+                    " V=" + std::to_string(need.size()));
+  }
   ctx_.log->append(e, seen, need);
   note_epoch(e);
   ctx_.deliver(e);
@@ -85,6 +94,12 @@ void GaplessStream::initiate_reliable_broadcast(EventId id) {
   const StoredEvent* stored = ctx_.log->find(id);
   RIV_ASSERT(stored != nullptr, "broadcasting an event we do not hold");
   ++rb_initiated_;
+  if (trace::active(trace::Component::kDelivery)) {
+    trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
+                trace::Kind::kFallback,
+                "app=" + std::to_string(ctx_.app.value) +
+                    " event=" + riv::to_string(id));
+  }
 
   std::set<ProcessId> targets = stored->need;
   const std::set<ProcessId>& view = ctx_.view();
@@ -178,6 +193,12 @@ void GaplessStream::schedule_epoch(std::uint32_t epoch) {
   // the epoch boundary, so slot assignment adapts to failures without any
   // coordination messages (§4.1).
   ctx_.timers->schedule_at(boundary, [this, epoch, e, boundary] {
+    if (trace::active(trace::Component::kDelivery)) {
+      trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
+                  trace::Kind::kEpoch,
+                  "app=" + std::to_string(ctx_.app.value) +
+                      " epoch=" + std::to_string(epoch));
+    }
     if (ctx_.in_range) {
       std::vector<ProcessId> pollers;
       const std::set<ProcessId>& view = ctx_.view();

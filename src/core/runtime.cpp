@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "core/exec/placement.hpp"
 #include "core/wire.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::core {
 namespace {
@@ -408,6 +409,10 @@ void RivuletProcess::evaluate_role(AppId id, AppState& app) {
 void RivuletProcess::promote(AppId id, AppState& app) {
   RIV_INFO("exec", to_string(self_) << " promotes logic for app "
                                     << app.graph->name);
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kPromote, "app=" + std::to_string(id.value));
+  }
   appmodel::LogicInstance::Callbacks cb;
   cb.self = self_;
   cb.next_command_id = [this] {
@@ -437,6 +442,10 @@ void RivuletProcess::promote(AppId id, AppState& app) {
 void RivuletProcess::demote(AppId id, AppState& app) {
   RIV_INFO("exec", to_string(self_) << " demotes logic for app "
                                     << app.graph->name);
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kDemote, "app=" + std::to_string(id.value));
+  }
   app.logic.reset();
   metrics_->counter(metric_prefix(id) + ".demotions").add(1);
   for (ProcessId p : fd_->view()) {
@@ -485,6 +494,12 @@ void RivuletProcess::deliver_to_logic(AppId id, AppState& app,
                                       const devices::SensorEvent& e) {
   RIV_ASSERT(app.logic != nullptr, "delivering to a shadow logic node");
   ++app.delivered;
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kDeliver,
+                "app=" + std::to_string(id.value) +
+                    " event=" + riv::to_string(e.id));
+  }
   const std::string prefix = metric_prefix(id);
   if (!app.instance_delivered.insert(e.id).second)
     metrics_->counter(prefix + ".dup_instance_delivery").add(1);
@@ -593,6 +608,12 @@ void RivuletProcess::retry_pending_commands() {
 void RivuletProcess::submit_command_locally(AppState& app,
                                             const devices::Command& cmd) {
   if (!app.commands_seen.insert(cmd.id).second) return;
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kCommand,
+                "cmd=" + riv::to_string(cmd.id) +
+                    " actuator=" + riv::to_string(cmd.actuator));
+  }
   bus_->actuate(self_, cmd);
 }
 

@@ -3,6 +3,15 @@
 #include "common/assert.hpp"
 
 namespace riv::core::wire {
+namespace {
+
+// A decode is accepted only if every read stayed in bounds AND the buffer
+// was consumed exactly: truncated frames fail (some read ran off the end)
+// and trailing garbage fails too. This is what gives the fuzz test its
+// every-strict-prefix-is-rejected property.
+bool consumed(const BinaryReader& r) { return r.ok() && r.at_end(); }
+
+}  // namespace
 
 void write_pid_set(BinaryWriter& w, const std::set<ProcessId>& s) {
   RIV_ASSERT(s.size() <= 255, "process-id set too large for the wire");
@@ -27,7 +36,8 @@ std::vector<std::byte> encode(const RingPayload& p) {
   return w.take();
 }
 
-RingPayload decode_ring(const std::vector<std::byte>& buf) {
+std::optional<RingPayload> try_decode_ring(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   RingPayload p;
   p.app = r.app_id();
@@ -35,8 +45,14 @@ RingPayload decode_ring(const std::vector<std::byte>& buf) {
   p.seen = read_pid_set(r);
   p.need = read_pid_set(r);
   p.event = devices::decode_event(r);
-  RIV_ASSERT(r.ok(), "corrupt ring payload");
+  if (!consumed(r)) return std::nullopt;
   return p;
+}
+
+RingPayload decode_ring(const std::vector<std::byte>& buf) {
+  std::optional<RingPayload> p = try_decode_ring(buf);
+  RIV_ASSERT(p.has_value(), "corrupt ring payload");
+  return *std::move(p);
 }
 
 std::vector<std::byte> encode_event_payload(const EventPayload& p) {
@@ -47,14 +63,21 @@ std::vector<std::byte> encode_event_payload(const EventPayload& p) {
   return w.take();
 }
 
-EventPayload decode_event_payload(const std::vector<std::byte>& buf) {
+std::optional<EventPayload> try_decode_event_payload(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   EventPayload p;
   p.app = r.app_id();
   p.sensor = r.sensor_id();
   p.event = devices::decode_event(r);
-  RIV_ASSERT(r.ok(), "corrupt event payload");
+  if (!consumed(r)) return std::nullopt;
   return p;
+}
+
+EventPayload decode_event_payload(const std::vector<std::byte>& buf) {
+  std::optional<EventPayload> p = try_decode_event_payload(buf);
+  RIV_ASSERT(p.has_value(), "corrupt event payload");
+  return *std::move(p);
 }
 
 std::vector<std::byte> encode_sync_request(AppId app) {
@@ -63,11 +86,18 @@ std::vector<std::byte> encode_sync_request(AppId app) {
   return w.take();
 }
 
-AppId decode_sync_request(const std::vector<std::byte>& buf) {
+std::optional<AppId> try_decode_sync_request(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   AppId app = r.app_id();
-  RIV_ASSERT(r.ok(), "corrupt sync request");
+  if (!consumed(r)) return std::nullopt;
   return app;
+}
+
+AppId decode_sync_request(const std::vector<std::byte>& buf) {
+  std::optional<AppId> app = try_decode_sync_request(buf);
+  RIV_ASSERT(app.has_value(), "corrupt sync request");
+  return *app;
 }
 
 std::vector<std::byte> encode(const SyncResponse& p) {
@@ -81,7 +111,8 @@ std::vector<std::byte> encode(const SyncResponse& p) {
   return w.take();
 }
 
-SyncResponse decode_sync_response(const std::vector<std::byte>& buf) {
+std::optional<SyncResponse> try_decode_sync_response(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   SyncResponse p;
   p.app = r.app_id();
@@ -89,10 +120,17 @@ SyncResponse decode_sync_response(const std::vector<std::byte>& buf) {
   for (std::uint16_t i = 0; i < n; ++i) {
     SensorId sensor = r.sensor_id();
     TimePoint hw = r.time_point();
+    if (!r.ok()) return std::nullopt;
     p.high_waters.emplace_back(sensor, hw);
   }
-  RIV_ASSERT(r.ok(), "corrupt sync response");
+  if (!consumed(r)) return std::nullopt;
   return p;
+}
+
+SyncResponse decode_sync_response(const std::vector<std::byte>& buf) {
+  std::optional<SyncResponse> p = try_decode_sync_response(buf);
+  RIV_ASSERT(p.has_value(), "corrupt sync response");
+  return *std::move(p);
 }
 
 std::vector<std::byte> encode(const CommandPayload& p) {
@@ -103,14 +141,21 @@ std::vector<std::byte> encode(const CommandPayload& p) {
   return w.take();
 }
 
-CommandPayload decode_command_payload(const std::vector<std::byte>& buf) {
+std::optional<CommandPayload> try_decode_command_payload(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   CommandPayload p;
   p.app = r.app_id();
   p.guarantee = r.u8();
   p.command = devices::decode_command(r);
-  RIV_ASSERT(r.ok(), "corrupt command payload");
+  if (!consumed(r)) return std::nullopt;
   return p;
+}
+
+CommandPayload decode_command_payload(const std::vector<std::byte>& buf) {
+  std::optional<CommandPayload> p = try_decode_command_payload(buf);
+  RIV_ASSERT(p.has_value(), "corrupt command payload");
+  return *std::move(p);
 }
 
 std::vector<std::byte> encode_role_change(AppId app) {
@@ -119,11 +164,18 @@ std::vector<std::byte> encode_role_change(AppId app) {
   return w.take();
 }
 
-AppId decode_role_change(const std::vector<std::byte>& buf) {
+std::optional<AppId> try_decode_role_change(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   AppId app = r.app_id();
-  RIV_ASSERT(r.ok(), "corrupt role-change payload");
+  if (!consumed(r)) return std::nullopt;
   return app;
+}
+
+AppId decode_role_change(const std::vector<std::byte>& buf) {
+  std::optional<AppId> app = try_decode_role_change(buf);
+  RIV_ASSERT(app.has_value(), "corrupt role-change payload");
+  return *app;
 }
 
 std::vector<std::byte> encode(const CommandAck& p) {
@@ -133,13 +185,20 @@ std::vector<std::byte> encode(const CommandAck& p) {
   return w.take();
 }
 
-CommandAck decode_command_ack(const std::vector<std::byte>& buf) {
+std::optional<CommandAck> try_decode_command_ack(
+    const std::vector<std::byte>& buf) {
   BinaryReader r(buf);
   CommandAck p;
   p.app = r.app_id();
   p.command = r.command_id();
-  RIV_ASSERT(r.ok(), "corrupt command ack");
+  if (!consumed(r)) return std::nullopt;
   return p;
+}
+
+CommandAck decode_command_ack(const std::vector<std::byte>& buf) {
+  std::optional<CommandAck> p = try_decode_command_ack(buf);
+  RIV_ASSERT(p.has_value(), "corrupt command ack");
+  return *p;
 }
 
 }  // namespace riv::core::wire

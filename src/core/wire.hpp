@@ -5,8 +5,13 @@
 // are encoded as a 1-byte count plus 2 bytes per id — the metadata the
 // paper says makes Gapless costlier than plain broadcast at one receiving
 // process.
+// Each message type has two decoders: decode_* asserts on corrupt input
+// (internal paths where the payload was produced by our own encoder) and
+// try_decode_* returns std::nullopt instead — the boundary-safe variant
+// for anything that might see truncated or damaged bytes.
 #pragma once
 
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
@@ -29,6 +34,7 @@ struct RingPayload {
 };
 std::vector<std::byte> encode(const RingPayload& p);
 RingPayload decode_ring(const std::vector<std::byte>& buf);
+std::optional<RingPayload> try_decode_ring(const std::vector<std::byte>& buf);
 
 // kRbEvent / kGapForward: app (2) | sensor (2) | event.
 struct EventPayload {
@@ -38,10 +44,14 @@ struct EventPayload {
 };
 std::vector<std::byte> encode_event_payload(const EventPayload& p);
 EventPayload decode_event_payload(const std::vector<std::byte>& buf);
+std::optional<EventPayload> try_decode_event_payload(
+    const std::vector<std::byte>& buf);
 
 // kSyncRequest: app (2).
 std::vector<std::byte> encode_sync_request(AppId app);
 AppId decode_sync_request(const std::vector<std::byte>& buf);
+std::optional<AppId> try_decode_sync_request(
+    const std::vector<std::byte>& buf);
 
 // kSyncResponse: app (2) | count (2) | (sensor (2), high-water (8))*.
 struct SyncResponse {
@@ -50,6 +60,8 @@ struct SyncResponse {
 };
 std::vector<std::byte> encode(const SyncResponse& p);
 SyncResponse decode_sync_response(const std::vector<std::byte>& buf);
+std::optional<SyncResponse> try_decode_sync_response(
+    const std::vector<std::byte>& buf);
 
 // kCommand: app (2) | guarantee (1) | command (33).
 struct CommandPayload {
@@ -59,10 +71,14 @@ struct CommandPayload {
 };
 std::vector<std::byte> encode(const CommandPayload& p);
 CommandPayload decode_command_payload(const std::vector<std::byte>& buf);
+std::optional<CommandPayload> try_decode_command_payload(
+    const std::vector<std::byte>& buf);
 
 // kPromote / kDemote: app (2).
 std::vector<std::byte> encode_role_change(AppId app);
 AppId decode_role_change(const std::vector<std::byte>& buf);
+std::optional<AppId> try_decode_role_change(
+    const std::vector<std::byte>& buf);
 
 // kCommandAck: app (2) | command id (6).
 struct CommandAck {
@@ -71,5 +87,7 @@ struct CommandAck {
 };
 std::vector<std::byte> encode(const CommandAck& p);
 CommandAck decode_command_ack(const std::vector<std::byte>& buf);
+std::optional<CommandAck> try_decode_command_ack(
+    const std::vector<std::byte>& buf);
 
 }  // namespace riv::core::wire

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::devices {
 
@@ -177,6 +178,14 @@ void Sensor::emit(std::uint32_t epoch_tag, bool poll_based,
   e.value = sample_value();
   e.payload_size = spec_.payload_size;
   ++events_emitted_;
+  if (trace::active(trace::Component::kDevice)) {
+    std::string detail = "event=" + riv::to_string(e.id) +
+                         " epoch=" + std::to_string(e.epoch) +
+                         " poll=" + (poll_based ? "1" : "0");
+    trace::emit(sim_->now(), poll_based ? poll_target : ProcessId{0},
+                trace::Component::kDevice, trace::Kind::kEmit,
+                std::move(detail));
+  }
 
   if (poll_based) {
     // A poll response travels only over the requesting process's link.

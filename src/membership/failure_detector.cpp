@@ -1,6 +1,7 @@
 #include "membership/failure_detector.hpp"
 
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::membership {
 
@@ -66,6 +67,17 @@ void FailureDetector::recompute_view() {
     view_ = std::move(next);
     RIV_DEBUG("membership", riv::to_string(self_) << " view size "
                                                   << view_.size());
+    if (trace::active(trace::Component::kMembership)) {
+      std::string detail = "view=";
+      bool first = true;
+      for (ProcessId p : view_) {
+        if (!first) detail += "+";
+        detail += riv::to_string(p);
+        first = false;
+      }
+      trace::emit(now, self_, trace::Component::kMembership,
+                  trace::Kind::kView, std::move(detail));
+    }
     if (on_view_change_) on_view_change_(view_);
   }
 }

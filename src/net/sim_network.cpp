@@ -4,8 +4,33 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::net {
+namespace {
+
+// "type=<msg type> src=pN dst=pM" — the canonical frame detail shared by
+// send/recv/drop records.
+std::string frame_detail(const Message& msg) {
+  std::string out = "type=";
+  out += to_string(msg.type);
+  out += " src=" + riv::to_string(msg.src);
+  out += " dst=" + riv::to_string(msg.dst);
+  return out;
+}
+
+void trace_frame(const sim::Simulation& sim, trace::Kind kind,
+                 const Message& msg, const char* reason = nullptr) {
+  if (!trace::active(trace::Component::kNet)) return;
+  std::string detail = frame_detail(msg);
+  if (reason != nullptr) detail += std::string(" reason=") + reason;
+  // Attribute sends to the source, receptions/drops to the destination.
+  ProcessId owner = kind == trace::Kind::kSend ? msg.src : msg.dst;
+  trace::emit(sim.now(), owner, trace::Component::kNet, kind,
+              std::move(detail));
+}
+
+}  // namespace
 
 class SimNetwork::Endpoint : public Transport {
  public:
@@ -50,7 +75,13 @@ Transport& SimNetwork::endpoint(ProcessId p) {
   return *it->second;
 }
 
-void SimNetwork::set_process_up(ProcessId p, bool up) { up_[p] = up; }
+void SimNetwork::set_process_up(ProcessId p, bool up) {
+  up_[p] = up;
+  if (trace::active(trace::Component::kNet)) {
+    trace::emit(sim_->now(), p, trace::Component::kNet, trace::Kind::kLink,
+                std::string("process up=") + (up ? "1" : "0"));
+  }
+}
 
 bool SimNetwork::process_up(ProcessId p) const {
   auto it = up_.find(p);
@@ -65,11 +96,28 @@ void SimNetwork::set_partition(const std::vector<std::set<ProcessId>>& groups) {
     for (ProcessId p : group) partition_group_[p] = g;
     ++g;
   }
+  if (trace::active(trace::Component::kNet)) {
+    std::string detail = "partition";
+    for (const auto& group : groups) {
+      detail += " [";
+      bool first = true;
+      for (ProcessId p : group) {
+        if (!first) detail += "+";
+        detail += riv::to_string(p);
+        first = false;
+      }
+      detail += "]";
+    }
+    trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                trace::Kind::kLink, std::move(detail));
+  }
 }
 
 void SimNetwork::heal_partition() {
   partition_group_.clear();
   partitioned_ = false;
+  trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+              trace::Kind::kLink, "heal_partition");
 }
 
 bool SimNetwork::connected(ProcessId a, ProcessId b) const {
@@ -89,9 +137,20 @@ void SimNetwork::set_reachable(ProcessId src, ProcessId dst, bool up) {
     edge_down_.erase({src, dst});
   else
     edge_down_.insert({src, dst});
+  if (trace::active(trace::Component::kNet)) {
+    trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                trace::Kind::kLink,
+                std::string("reachable src=") + riv::to_string(src) +
+                    " dst=" + riv::to_string(dst) +
+                    " up=" + (up ? "1" : "0"));
+  }
 }
 
-void SimNetwork::clear_reachable_overrides() { edge_down_.clear(); }
+void SimNetwork::clear_reachable_overrides() {
+  edge_down_.clear();
+  trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+              trace::Kind::kLink, "clear_reachable_overrides");
+}
 
 bool SimNetwork::reachable(ProcessId src, ProcessId dst) const {
   if (src == dst) return true;
@@ -105,6 +164,13 @@ void SimNetwork::set_edge_delay(ProcessId src, ProcessId dst,
     edge_delay_.erase({src, dst});
   else
     edge_delay_[{src, dst}] = extra;
+  if (trace::active(trace::Component::kNet)) {
+    trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                trace::Kind::kLink,
+                std::string("edge_delay src=") + riv::to_string(src) +
+                    " dst=" + riv::to_string(dst) +
+                    " extra_us=" + std::to_string(extra.us));
+  }
 }
 
 void SimNetwork::set_edge_loss(ProcessId src, ProcessId dst,
@@ -113,11 +179,23 @@ void SimNetwork::set_edge_loss(ProcessId src, ProcessId dst,
     edge_loss_.erase({src, dst});
   else
     edge_loss_[{src, dst}] = loss_prob;
+  if (trace::active(trace::Component::kNet)) {
+    // Report loss as an integer permille so the detail string never
+    // depends on float formatting.
+    auto permille = static_cast<std::int64_t>(loss_prob * 1000.0 + 0.5);
+    trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                trace::Kind::kLink,
+                std::string("edge_loss src=") + riv::to_string(src) +
+                    " dst=" + riv::to_string(dst) +
+                    " permille=" + std::to_string(permille));
+  }
 }
 
 void SimNetwork::clear_edge_overrides() {
   edge_delay_.clear();
   edge_loss_.clear();
+  trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
+              trace::Kind::kLink, "clear_edge_overrides");
 }
 
 int SimNetwork::up_count() const {
@@ -140,12 +218,18 @@ Duration SimNetwork::frame_delay(std::size_t bytes) {
 
 void SimNetwork::send_frame(Message msg) {
   if (!process_up(msg.src)) return;  // a dead process sends nothing
-  if (!reachable(msg.src, msg.dst)) return;  // TCP reset: frame lost
+  if (!reachable(msg.src, msg.dst)) {  // TCP reset: frame lost
+    trace_frame(*sim_, trace::Kind::kDrop, msg, "unreachable");
+    return;
+  }
   if (!edge_loss_.empty()) {
     auto lit = edge_loss_.find({msg.src, msg.dst});
-    if (lit != edge_loss_.end() && sim_->rng().bernoulli(lit->second))
+    if (lit != edge_loss_.end() && sim_->rng().bernoulli(lit->second)) {
+      trace_frame(*sim_, trace::Kind::kDrop, msg, "edge_loss");
       return;  // lossy path: frame dropped on the air
+    }
   }
+  trace_frame(*sim_, trace::Kind::kSend, msg);
 
   const char* type_name = to_string(msg.type);
   metrics_->counter(std::string("net.msgs.") + type_name).add(1);
@@ -170,10 +254,13 @@ void SimNetwork::send_frame(Message msg) {
     // Re-check at delivery time: a crash or partition that happened while
     // the frame was in flight loses it.
     if (!process_up(msg.dst) || !process_up(msg.src) ||
-        !reachable(msg.src, msg.dst))
+        !reachable(msg.src, msg.dst)) {
+      trace_frame(*sim_, trace::Kind::kDrop, msg, "in_flight");
       return;
+    }
     auto it = endpoints_.find(msg.dst);
     if (it == endpoints_.end()) return;
+    trace_frame(*sim_, trace::Kind::kRecv, msg);
     it->second->deliver(msg);
   });
 }

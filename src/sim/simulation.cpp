@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::sim {
 
@@ -23,6 +24,11 @@ bool Simulation::step() {
     Callback cb = std::move(it->second);
     pending_.erase(it);
     now_ = entry.t;
+    if (trace::active(trace::Component::kSim)) {
+      trace::emit(now_, ProcessId{0}, trace::Component::kSim,
+                  trace::Kind::kTimerFire,
+                  "timer=" + std::to_string(entry.id));
+    }
     cb();
     return true;
   }

@@ -1,0 +1,38 @@
+// Structural trace diffing: find and explain the first divergence.
+//
+// A hash mismatch proves two runs differ but says nothing about where; the
+// golden-trace harness and tools/trace_diff need the first divergent
+// record with enough context to read the story around it. diff() walks the
+// two record sequences in lockstep and reports index + field of the first
+// difference; render() formats it with surrounding records from both
+// sides.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace riv::trace {
+
+struct Divergence {
+  bool identical{true};
+  // Index of the first record that differs (or the length of the shorter
+  // trace when one is a strict prefix of the other).
+  std::size_t index{0};
+  // Which field diverged first: "at", "process", "component", "kind",
+  // "detail" — or "length" when one side ran out of records.
+  std::string field;
+};
+
+Divergence diff(const std::vector<Record>& a, const std::vector<Record>& b);
+
+// Human-readable report: the divergent record from both sides plus up to
+// `context` preceding records (which are identical by construction).
+// Returns "traces identical (N records)" when there is no divergence.
+std::string render(const std::vector<Record>& a,
+                   const std::vector<Record>& b, const Divergence& d,
+                   std::size_t context = 5);
+
+}  // namespace riv::trace

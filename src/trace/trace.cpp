@@ -1,0 +1,203 @@
+#include "trace/trace.hpp"
+
+#include <fstream>
+
+namespace riv::trace {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr char kMagic[4] = {'R', 'I', 'V', 'T'};
+
+Recorder* g_current = nullptr;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::byte>& bytes) {
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::kSim: return "sim";
+    case Component::kNet: return "net";
+    case Component::kDevice: return "device";
+    case Component::kMembership: return "membership";
+    case Component::kDelivery: return "delivery";
+    case Component::kRuntime: return "runtime";
+    case Component::kChaos: return "chaos";
+  }
+  return "unknown";
+}
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kTimerFire: return "timer_fire";
+    case Kind::kSend: return "send";
+    case Kind::kRecv: return "recv";
+    case Kind::kDrop: return "drop";
+    case Kind::kLink: return "link";
+    case Kind::kEmit: return "emit";
+    case Kind::kView: return "view";
+    case Kind::kIngest: return "ingest";
+    case Kind::kFallback: return "fallback";
+    case Kind::kEpoch: return "epoch";
+    case Kind::kDeliver: return "deliver";
+    case Kind::kPromote: return "promote";
+    case Kind::kDemote: return "demote";
+    case Kind::kCommand: return "command";
+    case Kind::kFault: return "fault";
+    case Kind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Record& r) {
+  std::string out = "t=" + std::to_string(r.at.us) + "us ";
+  out += r.process.value == 0 ? "-" : riv::to_string(r.process);
+  out += " ";
+  out += to_string(r.component);
+  out += "/";
+  out += to_string(r.kind);
+  if (!r.detail.empty()) {
+    out += " ";
+    out += r.detail;
+  }
+  return out;
+}
+
+void encode(BinaryWriter& w, const Record& r) {
+  w.time_point(r.at);
+  w.process_id(r.process);
+  w.u8(static_cast<std::uint8_t>(r.component));
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.str(r.detail);
+}
+
+Record decode_record(BinaryReader& r) {
+  Record out;
+  out.at = r.time_point();
+  out.process = r.process_id();
+  out.component = static_cast<Component>(r.u8());
+  out.kind = static_cast<Kind>(r.u8());
+  out.detail = r.str();
+  return out;
+}
+
+void Recorder::append(Record r) {
+  if (!wants(r.component)) return;
+  BinaryWriter w;
+  trace::encode(w, r);
+  hash_ = fnv1a(hash_, w.data());
+  records_.push_back(std::move(r));
+}
+
+std::string Recorder::digest() const {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t h = hash_;
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::vector<std::byte> Recorder::encode() const {
+  BinaryWriter w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kFormatVersion);
+  w.u64(records_.size());
+  for (const Record& r : records_) trace::encode(w, r);
+  w.u64(hash_);
+  return w.take();
+}
+
+bool Recorder::decode(const std::vector<std::byte>& buf, Recorder* out,
+                      std::string* error) {
+  BinaryReader r(buf);
+  for (char c : kMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(c)) {
+      if (error) *error = "bad magic (not a rivtrace file)";
+      return false;
+    }
+  }
+  std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    if (error) *error = "unsupported version " + std::to_string(version);
+    return false;
+  }
+  std::uint64_t count = r.u64();
+  Recorder decoded;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    decoded.append(decode_record(r));
+    if (!r.ok()) {
+      if (error) *error = "truncated at record " + std::to_string(i);
+      return false;
+    }
+  }
+  std::uint64_t footer = r.u64();
+  if (!r.ok()) {
+    if (error) *error = "truncated footer";
+    return false;
+  }
+  if (footer != decoded.hash()) {
+    if (error) *error = "footer hash mismatch (corrupt trace)";
+    return false;
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
+bool Recorder::save(const std::string& path, std::string* error) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  std::vector<std::byte> buf = encode();
+  f.write(reinterpret_cast<const char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!f) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool Recorder::load(const std::string& path, Recorder* out,
+                    std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> buf(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    buf[i] = static_cast<std::byte>(raw[i]);
+  return decode(buf, out, error);
+}
+
+Recorder* current() { return g_current; }
+
+Scope::Scope(Recorder& r) : prev_(g_current) { g_current = &r; }
+Scope::~Scope() { g_current = prev_; }
+
+bool active(Component c) {
+  return g_current != nullptr && g_current->wants(c);
+}
+
+void emit(TimePoint at, ProcessId process, Component component, Kind kind,
+          std::string detail) {
+  if (g_current == nullptr || !g_current->wants(component)) return;
+  g_current->append(
+      Record{at, process, component, kind, std::move(detail)});
+}
+
+}  // namespace riv::trace

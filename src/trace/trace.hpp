@@ -1,0 +1,161 @@
+// Flight recorder: a structured, deterministically-ordered event trace
+// that every layer of the stack emits into.
+//
+// Each record is (virtual_time, process, component, kind, detail): the sim
+// kernel logs timer dispatch, the network logs send/recv/drop and link
+// transitions, membership logs view changes, the delivery service logs
+// ingest/fallback/epoch activity, the runtime logs deliveries and logic
+// failovers, and the chaos injector logs every fault it applies. Records
+// are appended in simulation callback execution order, which the
+// discrete-event kernel makes deterministic, so two runs of the same seed
+// produce byte-identical traces — the substrate for golden-trace
+// regression testing (tests/trace_golden) and replayable chaos artifacts
+// (tools/chaos_run --trace).
+//
+// Recording is scoped, not global configuration: installing a Recorder via
+// trace::Scope makes it the current sink; with no recorder installed every
+// emit site short-circuits on one branch, so the instrumented hot paths
+// cost nothing in benches. The binary encoding (via common/codec) is the
+// stable on-disk format, and an FNV-1a hash rolled over each record's
+// encoding as it is appended fingerprints the whole trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace riv::trace {
+
+// Which layer emitted the record. Values are part of the on-disk format:
+// append only, never renumber.
+enum class Component : std::uint8_t {
+  kSim = 0,         // discrete-event kernel
+  kNet = 1,         // simulated WiFi transport
+  kDevice = 2,      // sensors / actuators
+  kMembership = 3,  // failure detector
+  kDelivery = 4,    // gapless ring / gap chain
+  kRuntime = 5,     // execution service, delivery into logic
+  kChaos = 6,       // fault injector
+};
+inline constexpr int kComponentCount = 7;
+const char* to_string(Component c);
+
+// What happened. Values are part of the on-disk format: append only.
+enum class Kind : std::uint8_t {
+  kTimerFire = 0,  // sim dispatched a timer callback
+  kSend = 1,       // frame put on the wire
+  kRecv = 2,       // frame handed to the destination endpoint
+  kDrop = 3,       // frame lost (crash, partition, edge loss, in flight)
+  kLink = 4,       // partition / reachability / edge-quality transition
+  kEmit = 5,       // sensor emitted an event
+  kView = 6,       // membership view changed
+  kIngest = 7,     // delivery stream accepted a new event
+  kFallback = 8,   // gapless ring stalled; reliable broadcast initiated
+  kEpoch = 9,      // coordinated-polling epoch boundary
+  kDeliver = 10,   // event fed to the active logic node
+  kPromote = 11,   // logic node promoted
+  kDemote = 12,    // logic node demoted
+  kCommand = 13,   // actuation command submitted to a device
+  kFault = 14,     // chaos injector applied a fault action
+  kMark = 15,      // free-form scenario annotation
+};
+const char* to_string(Kind k);
+
+struct Record {
+  TimePoint at{};
+  ProcessId process{};  // ProcessId{0} = no single process (global event)
+  Component component{Component::kSim};
+  Kind kind{Kind::kMark};
+  // Canonical "key=value key=value" payload. Part of the determinism
+  // hash and of golden traces, so emit sites must keep it stable:
+  // integers and ids only, no pointers, no float formatting surprises.
+  std::string detail;
+
+  bool operator==(const Record&) const = default;
+};
+
+// One-line rendering: "t=12.345678s p2 net/send type=ring_event ...".
+std::string to_string(const Record& r);
+
+// Stable binary encoding of one record (the unit the rolling hash covers).
+void encode(BinaryWriter& w, const Record& r);
+Record decode_record(BinaryReader& r);
+
+inline constexpr std::uint32_t component_bit(Component c) {
+  return 1u << static_cast<std::uint32_t>(c);
+}
+inline constexpr std::uint32_t kAllComponents =
+    (1u << kComponentCount) - 1;
+
+class Recorder {
+ public:
+  // `mask` selects which components are recorded (bitwise OR of
+  // component_bit); everything else is dropped at the emit site.
+  explicit Recorder(std::uint32_t mask = kAllComponents) : mask_(mask) {}
+
+  bool wants(Component c) const { return (mask_ & component_bit(c)) != 0; }
+  std::uint32_t mask() const { return mask_; }
+
+  // Append one record (assumes wants() was honoured by the caller; a
+  // masked-out record appended directly is still dropped).
+  void append(Record r);
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  // FNV-1a rolled over each record's binary encoding, in append order.
+  std::uint64_t hash() const { return hash_; }
+  // hash() as fixed-width hex.
+  std::string digest() const;
+
+  // --- on-disk format ----------------------------------------------------
+  // magic "RIVT" | version u32 | count u64 | records | hash u64.
+  std::vector<std::byte> encode() const;
+  // Returns false (and sets *error) on malformed input, bad magic /
+  // version, or a footer hash that does not match the records.
+  static bool decode(const std::vector<std::byte>& buf, Recorder* out,
+                     std::string* error);
+
+  bool save(const std::string& path, std::string* error = nullptr) const;
+  static bool load(const std::string& path, Recorder* out,
+                   std::string* error = nullptr);
+
+ private:
+  std::uint32_t mask_;
+  std::vector<Record> records_;
+  std::uint64_t hash_{0xcbf29ce484222325ULL};  // FNV offset basis
+};
+
+// --- the current recorder ------------------------------------------------
+// The simulator is single-threaded, so "current recorder" is one module-
+// level pointer. Scope installs a recorder RAII-style (nesting restores
+// the previous one), and emit()/active() are the only calls instrumented
+// code makes.
+
+Recorder* current();
+
+class Scope {
+ public:
+  explicit Scope(Recorder& r);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Recorder* prev_;
+};
+
+// Fast gate: is a recorder installed and interested in this component?
+// Emit sites check this before building detail strings.
+bool active(Component c);
+
+// Append to the current recorder; no-op when none is installed or the
+// component is masked out.
+void emit(TimePoint at, ProcessId process, Component component, Kind kind,
+          std::string detail);
+
+}  // namespace riv::trace

@@ -1,0 +1,208 @@
+// Unit tests for the flight-recorder trace layer (src/trace): hash
+// stability, component masking, the scoped current-recorder mechanism,
+// the stable binary encoding (round-trip, corruption rejection, file
+// save/load), and the structural differ.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/diff.hpp"
+#include "trace/trace.hpp"
+
+namespace riv {
+namespace {
+
+using namespace riv::trace;
+
+Record record(std::int64_t us, std::uint16_t pid, Component c, Kind k,
+              std::string detail) {
+  return Record{TimePoint{us}, ProcessId{pid}, c, k, std::move(detail)};
+}
+
+std::vector<Record> sample_records() {
+  return {
+      record(0, 0, Component::kSim, Kind::kTimerFire, "timer=1"),
+      record(1000, 1, Component::kNet, Kind::kSend,
+             "type=keepalive src=p1 dst=p2"),
+      record(2500, 2, Component::kNet, Kind::kRecv,
+             "type=keepalive src=p1 dst=p2"),
+      record(3000, 1, Component::kDelivery, Kind::kIngest,
+             "app=1 event=s1#0 S=1 V=3"),
+      record(3000, 1, Component::kRuntime, Kind::kDeliver,
+             "app=1 event=s1#0"),
+  };
+}
+
+TEST(TraceRecorderTest, HashIsStableAcrossIdenticalAppends) {
+  Recorder a, b;
+  for (const Record& r : sample_records()) {
+    a.append(r);
+    b.append(r);
+  }
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(TraceRecorderTest, HashIsSensitiveToEveryField) {
+  std::vector<Record> base = sample_records();
+  Recorder ref;
+  for (const Record& r : base) ref.append(r);
+
+  auto hash_with = [&](Record changed, std::size_t at) {
+    Recorder rec;
+    for (std::size_t i = 0; i < base.size(); ++i)
+      rec.append(i == at ? changed : base[i]);
+    return rec.hash();
+  };
+
+  Record r = base[3];
+  r.at = r.at + Duration{1};
+  EXPECT_NE(hash_with(r, 3), ref.hash());
+  r = base[3];
+  r.process = ProcessId{9};
+  EXPECT_NE(hash_with(r, 3), ref.hash());
+  r = base[3];
+  r.kind = Kind::kFallback;
+  EXPECT_NE(hash_with(r, 3), ref.hash());
+  r = base[3];
+  r.detail += " x";
+  EXPECT_NE(hash_with(r, 3), ref.hash());
+}
+
+TEST(TraceRecorderTest, MaskDropsUnwantedComponents) {
+  Recorder rec(component_bit(Component::kDelivery) |
+               component_bit(Component::kRuntime));
+  for (const Record& r : sample_records()) rec.append(r);
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.records()[0].kind, Kind::kIngest);
+  EXPECT_EQ(rec.records()[1].kind, Kind::kDeliver);
+  EXPECT_FALSE(rec.wants(Component::kNet));
+  EXPECT_TRUE(rec.wants(Component::kDelivery));
+}
+
+TEST(TraceRecorderTest, EncodeDecodeRoundTrips) {
+  Recorder rec;
+  for (const Record& r : sample_records()) rec.append(r);
+  std::vector<std::byte> buf = rec.encode();
+
+  Recorder back;
+  std::string err;
+  ASSERT_TRUE(Recorder::decode(buf, &back, &err)) << err;
+  EXPECT_EQ(back.records(), rec.records());
+  EXPECT_EQ(back.hash(), rec.hash());
+}
+
+TEST(TraceRecorderTest, DecodeRejectsCorruptInput) {
+  Recorder rec;
+  for (const Record& r : sample_records()) rec.append(r);
+  std::vector<std::byte> buf = rec.encode();
+
+  Recorder back;
+  std::string err;
+
+  // Bad magic.
+  std::vector<std::byte> bad = buf;
+  bad[0] = std::byte{'X'};
+  EXPECT_FALSE(Recorder::decode(bad, &back, &err));
+
+  // Every strict prefix is rejected (truncated records or footer).
+  for (std::size_t n = 0; n < buf.size(); ++n) {
+    std::vector<std::byte> prefix(buf.begin(),
+                                  buf.begin() + static_cast<long>(n));
+    EXPECT_FALSE(Recorder::decode(prefix, &back, &err)) << "prefix " << n;
+  }
+
+  // A flipped payload byte breaks the footer hash.
+  bad = buf;
+  bad[buf.size() / 2] ^= std::byte{0x01};
+  EXPECT_FALSE(Recorder::decode(bad, &back, &err));
+}
+
+TEST(TraceRecorderTest, SaveLoadRoundTripsThroughDisk) {
+  Recorder rec;
+  for (const Record& r : sample_records()) rec.append(r);
+
+  std::string path =
+      testing::TempDir() + "/riv_trace_roundtrip.rivtrace";
+  std::string err;
+  ASSERT_TRUE(rec.save(path, &err)) << err;
+
+  Recorder back;
+  ASSERT_TRUE(Recorder::load(path, &back, &err)) << err;
+  EXPECT_EQ(back.records(), rec.records());
+  EXPECT_EQ(back.digest(), rec.digest());
+  std::remove(path.c_str());
+}
+
+TEST(TraceScopeTest, EmitIsANoOpWithoutARecorder) {
+  ASSERT_EQ(current(), nullptr);
+  EXPECT_FALSE(active(Component::kSim));
+  emit(TimePoint{1}, ProcessId{1}, Component::kSim, Kind::kMark, "lost");
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(TraceScopeTest, ScopeInstallsAndNestingRestores) {
+  Recorder outer, inner(component_bit(Component::kChaos));
+  {
+    Scope s1(outer);
+    EXPECT_EQ(current(), &outer);
+    EXPECT_TRUE(active(Component::kNet));
+    emit(TimePoint{1}, ProcessId{1}, Component::kNet, Kind::kSend, "a");
+    {
+      Scope s2(inner);
+      EXPECT_EQ(current(), &inner);
+      EXPECT_FALSE(active(Component::kNet));  // masked out in inner
+      emit(TimePoint{2}, ProcessId{1}, Component::kNet, Kind::kSend, "b");
+      emit(TimePoint{3}, ProcessId{0}, Component::kChaos, Kind::kFault,
+           "c");
+    }
+    EXPECT_EQ(current(), &outer);
+  }
+  EXPECT_EQ(current(), nullptr);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer.records()[0].detail, "a");
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(inner.records()[0].detail, "c");
+}
+
+TEST(TraceDiffTest, IdenticalTracesDiffClean) {
+  std::vector<Record> a = sample_records();
+  Divergence d = diff(a, a);
+  EXPECT_TRUE(d.identical);
+  EXPECT_NE(render(a, a, d).find("traces identical"), std::string::npos);
+}
+
+TEST(TraceDiffTest, ReportsFirstDivergentFieldAndIndex) {
+  std::vector<Record> a = sample_records();
+  std::vector<Record> b = a;
+  b[3].detail = "app=1 event=s1#0 S=2 V=3";
+  b[4].at = b[4].at + Duration{77};  // later difference must not mask it
+
+  Divergence d = diff(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.index, 3u);
+  EXPECT_EQ(d.field, "detail");
+
+  std::string report = render(a, b, d, 2);
+  EXPECT_NE(report.find("first divergence at record 3"), std::string::npos);
+  EXPECT_NE(report.find("field: detail"), std::string::npos);
+  EXPECT_NE(report.find("S=1"), std::string::npos);
+  EXPECT_NE(report.find("S=2"), std::string::npos);
+}
+
+TEST(TraceDiffTest, PrefixTraceReportsLengthDivergence) {
+  std::vector<Record> a = sample_records();
+  std::vector<Record> b(a.begin(), a.begin() + 3);
+  Divergence d = diff(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.index, 3u);
+  EXPECT_EQ(d.field, "length");
+  EXPECT_NE(render(a, b, d).find("<end of trace: 3 records>"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace riv

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -37,6 +38,10 @@ struct CliOptions {
   bool print_trace{false};
   bool demo_violation{false};
   bool quiet{false};
+  // When non-empty, run every seed with the flight recorder on and save a
+  // replayable .rivtrace artifact under this directory for each FAILING
+  // seed (tools/trace_diff reads them).
+  std::string trace_dir;
 };
 
 void usage(const char* argv0) {
@@ -55,6 +60,8 @@ void usage(const char* argv0) {
       "  --print-trace         dump the fault trace of every run\n"
       "  --demo-violation      register an always-failing invariant to\n"
       "                        demonstrate violation reporting + repro\n"
+      "  --trace DIR           record a flight trace per seed; save\n"
+      "                        DIR/seed-N.rivtrace for every failing seed\n"
       "  --quiet               only print failures and the final summary\n",
       argv0);
 }
@@ -114,6 +121,7 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed) {
   opt.scenario.device_link_loss = cli.loss;
   opt.plan.horizon = seconds(cli.duration_s);
   opt.check_interval = milliseconds(cli.check_interval_ms);
+  opt.flight = !cli.trace_dir.empty();
   chaos::ChaosEngine engine(opt);
   if (cli.demo_violation)
     engine.add_invariant(std::make_unique<DemoViolation>());
@@ -164,6 +172,8 @@ int main(int argc, char** argv) {
       cli.print_trace = true;
     } else if (arg == "--demo-violation") {
       cli.demo_violation = true;
+    } else if (arg == "--trace") {
+      cli.trace_dir = next();
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -221,6 +231,19 @@ int main(int argc, char** argv) {
       std::printf("  drain did not reach quiescence within bound\n");
     for (const chaos::Violation& v : r.violations)
       std::printf("  %s\n", chaos::to_string(v).c_str());
+    if (failed && !cli.trace_dir.empty() && r.flight) {
+      std::error_code ec;
+      std::filesystem::create_directories(cli.trace_dir, ec);
+      std::string path = cli.trace_dir + "/seed-" + std::to_string(seed) +
+                         ".rivtrace";
+      std::string err;
+      if (r.flight->save(path, &err)) {
+        std::printf("  flight trace (%zu records) saved: %s\n",
+                    r.flight->size(), path.c_str());
+      } else {
+        std::printf("  flight trace save failed: %s\n", err.c_str());
+      }
+    }
     if (failed)
       std::printf("  repro: %s\n", repro_command(cli, seed).c_str());
   }
