@@ -1,0 +1,357 @@
+// bench_kernel: self-benchmark of the simulation-kernel hot path.
+//
+// This is the repo's perf-trajectory artifact: it measures the substrate
+// every other bench and the chaos corpus run on, and writes the numbers
+// as JSON so CI can fail on regressions (--check BASELINE.json, >30%
+// drop on any events/sec metric fails).
+//
+// Scenarios:
+//   timer_churn  — raw kernel: periodic timers + cancel/reschedule churn,
+//                  the keep-alive/retransmit pattern that dominates real
+//                  workloads. Pure Simulation, no network.
+//   chaos_flight — the golden chaos scenario (seed 7, gapless, full
+//                  protocol stack + fault injection), the ISSUE's
+//                  reference workload. Also reports allocations/event
+//                  via a counting global-new hook.
+//   steady_home  — §8.2 steady-state home (5 processes, 10 Hz sensor),
+//                  reported as wall-seconds per simulated hour.
+//   seed_sweep   — chaos seeds fanned out over bench::parallel_map
+//                  (--jobs N); verifies per-seed fault-trace hashes are
+//                  bit-identical to the serial run.
+//
+//   bench_kernel [--jobs N] [--check BASELINE.json] [--json PATH] [--out DIR]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chaos/engine.hpp"
+#include "sim/simulation.hpp"
+
+// --- counting allocator hook ---------------------------------------------
+// Global operator new override local to this binary: every heap allocation
+// made while measuring bumps one relaxed atomic. The delta around a
+// scenario divided by events fired gives allocs/event — the kernel
+// rewrite's "steady-state scheduling does no allocation" claim, measured.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace riv::bench {
+namespace {
+
+double now_wall() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  double events_per_sec{0};
+  double wall_s{0};
+  std::uint64_t events{0};
+  double allocs_per_event{-1};       // < 0 = not measured
+  double wall_s_per_sim_hour{-1};    // < 0 = not measured
+};
+
+// --- timer_churn ---------------------------------------------------------
+// 64 periodic timers (keep-alive pattern) plus a churn timer per period
+// that is scheduled and then cancelled before firing (retransmit pattern):
+// the cancel-heavy steady state the wheel's tombstones are built for.
+Result bench_timer_churn() {
+  constexpr int kPeriodic = 64;
+  constexpr std::uint64_t kTargetFires = 2'000'000;
+  sim::Simulation sim(1);
+  std::uint64_t fires = 0;
+  std::vector<sim::TimerId> churn(kPeriodic, 0);
+  std::function<void(int)> tick = [&](int i) {
+    ++fires;
+    // Cancel last period's churn timer (it never fires) and arm a new one.
+    sim.cancel(churn[static_cast<std::size_t>(i)]);
+    churn[static_cast<std::size_t>(i)] =
+        sim.schedule_after(milliseconds(40), [] {});
+    if (fires < kTargetFires)
+      sim.schedule_after(milliseconds(1 + i % 17), [&tick, i] { tick(i); });
+  };
+  for (int i = 0; i < kPeriodic; ++i) {
+    int delay = 1 + i;
+    sim.schedule_after(microseconds(delay), [&tick, i] { tick(i); });
+  }
+  double t0 = now_wall();
+  while (fires < kTargetFires && sim.step()) {
+  }
+  double wall = now_wall() - t0;
+  Result r;
+  r.events = sim.events_fired();
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  return r;
+}
+
+// --- chaos_flight --------------------------------------------------------
+chaos::ChaosResult run_chaos(std::uint64_t seed, std::int64_t horizon_s) {
+  chaos::EngineOptions opt;
+  opt.scenario.seed = seed;
+  opt.scenario.guarantee = appmodel::Guarantee::kGapless;
+  opt.plan.horizon = seconds(horizon_s);
+  return chaos::ChaosEngine(opt).run();
+}
+
+Result bench_chaos_flight() {
+  constexpr std::int64_t kHorizonS = 60;
+  constexpr int kIters = 5;
+  // Warm-up run keeps one-time setup costs out of the measurement; each
+  // timed iteration is the identical deterministic run, so best-of-N
+  // isolates the kernel from scheduler noise.
+  run_chaos(7, 2);
+  Result r;
+  double best = 0;
+  for (int it = 0; it < kIters; ++it) {
+    std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+    double t0 = now_wall();
+    chaos::ChaosResult res = run_chaos(7, kHorizonS);
+    double wall = now_wall() - t0;
+    std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+    if (!res.ok())
+      std::fprintf(stderr,
+                   "warning: chaos_flight run reported a violation\n");
+    r.events = res.sim_events;
+    r.wall_s += wall;
+    best = std::max(best, static_cast<double>(res.sim_events) / wall);
+    r.allocs_per_event =
+        static_cast<double>(allocs) / static_cast<double>(res.sim_events);
+  }
+  r.events_per_sec = best;
+  return r;
+}
+
+// --- steady_home ---------------------------------------------------------
+Result bench_steady_home() {
+  constexpr std::int64_t kSimMinutes = 10;
+  ScenarioOptions opt;  // 5 processes, 10 Hz, gapless
+  auto home = make_scenario(opt);
+  home->start();
+  double t0 = now_wall();
+  home->run_for(minutes(kSimMinutes));
+  double wall = now_wall() - t0;
+  Result r;
+  r.events = home->sim().events_fired();
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  r.wall_s_per_sim_hour = wall * (60.0 / static_cast<double>(kSimMinutes));
+  return r;
+}
+
+// --- seed_sweep ----------------------------------------------------------
+Result bench_seed_sweep(int jobs, bool* hashes_match) {
+  const std::vector<std::uint64_t> seeds = {3, 7, 11, 19};
+  constexpr std::int64_t kHorizonS = 10;
+  auto run_all = [&](int j) {
+    return parallel_map<chaos::ChaosResult>(
+        j, seeds.size(),
+        [&](std::size_t i) { return run_chaos(seeds[i], kHorizonS); });
+  };
+  std::vector<chaos::ChaosResult> serial = run_all(1);
+  double t0 = now_wall();
+  std::vector<chaos::ChaosResult> parallel = run_all(jobs);
+  double wall = now_wall() - t0;
+  *hashes_match = true;
+  Result r;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    r.events += parallel[i].sim_events;
+    if (parallel[i].trace_hash != serial[i].trace_hash) {
+      *hashes_match = false;
+      std::fprintf(stderr,
+                   "seed %llu: parallel trace hash differs from serial!\n",
+                   static_cast<unsigned long long>(seeds[i]));
+    }
+  }
+  r.wall_s = wall;
+  r.events_per_sec = static_cast<double>(r.events) / wall;
+  return r;
+}
+
+// --- reporting -----------------------------------------------------------
+void print_result(const char* name, const Result& r) {
+  std::printf("%-14s %12.0f events/s   %9llu events   %7.3f wall-s", name,
+              r.events_per_sec, static_cast<unsigned long long>(r.events),
+              r.wall_s);
+  if (r.allocs_per_event >= 0)
+    std::printf("   %6.2f allocs/event", r.allocs_per_event);
+  if (r.wall_s_per_sim_hour >= 0)
+    std::printf("   %6.2f wall-s/sim-hour", r.wall_s_per_sim_hour);
+  std::printf("\n");
+}
+
+void append_json(std::string& out, const char* name, const Result& r,
+                 bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    \"%s\": {\"events_per_sec\": %.0f, \"events\": %llu, "
+                "\"wall_s\": %.4f",
+                name, r.events_per_sec,
+                static_cast<unsigned long long>(r.events), r.wall_s);
+  out += buf;
+  if (r.allocs_per_event >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"allocs_per_event\": %.3f",
+                  r.allocs_per_event);
+    out += buf;
+  }
+  if (r.wall_s_per_sim_hour >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"wall_s_per_sim_hour\": %.3f",
+                  r.wall_s_per_sim_hour);
+    out += buf;
+  }
+  out += last ? "}\n" : "},\n";
+}
+
+// Pull "scenario" -> events_per_sec out of a previously written
+// BENCH_kernel.json. Minimal parser for exactly the format append_json
+// writes; returns -1 when the scenario is absent.
+double baseline_events_per_sec(const std::string& json,
+                               const std::string& scenario) {
+  std::string needle = "\"" + scenario + "\"";
+  auto at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  auto key = json.find("\"events_per_sec\":", at);
+  if (key == std::string::npos) return -1;
+  return std::atof(json.c_str() + key + std::strlen("\"events_per_sec\":"));
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+}  // namespace riv::bench
+
+int main(int argc, char** argv) {
+  using namespace riv::bench;
+  int jobs = 2;
+  std::string check_path;
+  std::string json_path;
+  riv::bench::Output out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--jobs N] [--check BASELINE.json] "
+                     "[--json PATH] [--out DIR]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      jobs = std::atoi(next());
+    } else if (arg == "--check") {
+      check_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--out") {
+      out.dir = next();
+    }
+  }
+  if (jobs < 1) jobs = 1;
+
+  print_header("bench_kernel — simulation-kernel hot path",
+               "repo artifact (no paper figure): events/sec, wall-s per "
+               "simulated hour, allocs/event");
+
+  Result timer_churn = bench_timer_churn();
+  print_result("timer_churn", timer_churn);
+  Result chaos_flight = bench_chaos_flight();
+  print_result("chaos_flight", chaos_flight);
+  Result steady_home = bench_steady_home();
+  print_result("steady_home", steady_home);
+  bool hashes_match = true;
+  Result seed_sweep = bench_seed_sweep(jobs, &hashes_match);
+  print_result("seed_sweep", seed_sweep);
+  std::printf("seed_sweep: parallel (--jobs %d) per-seed hashes %s serial\n",
+              jobs, hashes_match ? "MATCH" : "DIFFER FROM");
+
+  std::string json = "{\n  \"bench\": \"kernel\",\n  \"scenarios\": {\n";
+  append_json(json, "timer_churn", timer_churn, false);
+  append_json(json, "chaos_flight", chaos_flight, false);
+  append_json(json, "steady_home", steady_home, false);
+  append_json(json, "seed_sweep", seed_sweep, true);
+  json += "  }\n}\n";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("json written: %s\n", json_path.c_str());
+  }
+  if (out.enabled()) {
+    std::FILE* f = out.open("BENCH_kernel.json");
+    if (f != nullptr) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("json written: %s\n",
+                  out.path_for("BENCH_kernel.json").c_str());
+    }
+  }
+
+  int failures = hashes_match ? 0 : 1;
+  if (!check_path.empty()) {
+    std::string baseline = read_file(check_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 1;
+    }
+    struct {
+      const char* name;
+      double current;
+    } checks[] = {
+        {"timer_churn", timer_churn.events_per_sec},
+        {"chaos_flight", chaos_flight.events_per_sec},
+        {"steady_home", steady_home.events_per_sec},
+    };
+    for (const auto& c : checks) {
+      double base = baseline_events_per_sec(baseline, c.name);
+      if (base <= 0) {
+        std::fprintf(stderr, "baseline missing scenario %s\n", c.name);
+        ++failures;
+        continue;
+      }
+      double ratio = c.current / base;
+      bool ok = ratio >= 0.7;  // fail on >30% regression
+      std::printf("check %-14s %12.0f vs baseline %12.0f  (%.2fx)  %s\n",
+                  c.name, c.current, base, ratio, ok ? "ok" : "REGRESSION");
+      if (!ok) ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

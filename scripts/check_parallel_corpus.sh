@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Replay the chaos seed corpus (tests/seeds.txt) through chaos_run twice —
+# serially and with --jobs — and require byte-identical output. Because
+# every seed line includes its fault-trace hash, identical output proves
+# the parallel runner reproduces the serial per-seed results exactly
+# (determinism double-run included), which is the tier-2 gate for the
+# multi-threaded sweep runner.
+#
+# usage: check_parallel_corpus.sh [chaos_run] [seeds.txt] [jobs]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+chaos_run="${1:-$repo_root/build/tools/chaos_run}"
+seeds_file="${2:-$repo_root/tests/seeds.txt}"
+jobs="${3:-$(nproc)}"
+
+if [[ ! -x "$chaos_run" ]]; then
+  echo "chaos_run not found/executable: $chaos_run" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Group corpus lines by (guarantee, horizon) so each group becomes one
+# multi-seed invocation — that is what actually exercises the thread pool.
+declare -A groups=()
+while read -r seed guarantee horizon; do
+  [[ -z "$seed" || "$seed" == \#* ]] && continue
+  key="${guarantee}_${horizon}"
+  groups[$key]="${groups[$key]:+${groups[$key]},}$seed"
+done < "$seeds_file"
+
+status=0
+for key in "${!groups[@]}"; do
+  guarantee="${key%_*}"
+  horizon="${key#*_}"
+  seeds="${groups[$key]}"
+  echo "== corpus group: guarantee=$guarantee horizon=${horizon}s seeds=$seeds"
+  "$chaos_run" --seeds "$seeds" --guarantee "$guarantee" \
+    --duration "$horizon" > "$workdir/serial_$key.out" \
+    || { echo "serial run failed for group $key" >&2; status=1; }
+  "$chaos_run" --seeds "$seeds" --guarantee "$guarantee" \
+    --duration "$horizon" --jobs "$jobs" > "$workdir/parallel_$key.out" \
+    || { echo "parallel run failed for group $key" >&2; status=1; }
+  if ! diff -u "$workdir/serial_$key.out" "$workdir/parallel_$key.out"; then
+    echo "PARALLEL/SERIAL MISMATCH in group $key" >&2
+    status=1
+  else
+    echo "   parallel (--jobs $jobs) output identical to serial"
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "corpus parallel replay: all per-seed hashes match serial"
+fi
+exit $status

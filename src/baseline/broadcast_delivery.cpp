@@ -29,7 +29,7 @@ void BroadcastDeliveryNode::on_device_event(const devices::SensorEvent& e) {
   p.app = AppId{1};
   p.sensor = e.id.sensor;
   p.event = e;
-  std::vector<std::byte> payload = core::wire::encode_event_payload(p);
+  net::Payload payload = core::wire::encode_event_payload(p);  // shared buffer
   ++broadcasts_;
   for (ProcessId q : all_) {
     if (q != self_)

@@ -137,6 +137,7 @@ ChaosResult ChaosEngine::run() {
                    " delivered=" + std::to_string(result.delivered) +
                    " logs:" + logs);
 
+  result.sim_events = home.sim().events_fired();
   result.trace = trace.lines();
   result.trace_hash = trace.hash();
   result.trace_digest = trace.digest();

@@ -58,6 +58,9 @@ struct ChaosResult {
   std::uint64_t delivered{0};
   std::uint64_t ingested{0};
   std::uint64_t emitted{0};
+  // Discrete events the sim kernel dispatched over the whole run
+  // (bench_kernel's throughput numerator).
+  std::uint64_t sim_events{0};
 
   bool ok() const { return violations.empty() && quiesced; }
 };

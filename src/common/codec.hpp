@@ -68,6 +68,10 @@ class BinaryWriter {
   // toward the frame size but carry no information.
   void opaque(std::size_t n) { buf_.resize(buf_.size() + n); }
 
+  // Encoders that know their message size up front reserve it exactly, so
+  // the buffer grows once instead of doubling through the encode.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   std::size_t size() const { return buf_.size(); }
   const std::vector<std::byte>& data() const { return buf_; }
   std::vector<std::byte> take() { return std::move(buf_); }

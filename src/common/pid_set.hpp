@@ -1,0 +1,75 @@
+// Small sorted set of process ids.
+//
+// The ring protocol's S (seen) and V (must-see) sets ride on every Gapless
+// message and every stored log entry, so they are copied, merged, and
+// compared on the simulation hot path. A home has a handful of processes,
+// which makes a sorted inline vector strictly better than std::set here:
+// a copy is one contiguous allocation instead of a node tree, membership
+// is a binary search, and iteration order — and hence the wire encoding —
+// is identical to the ordered set it replaces.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace riv {
+
+class PidSet {
+ public:
+  using const_iterator = std::vector<ProcessId>::const_iterator;
+
+  PidSet() = default;
+  PidSet(std::initializer_list<ProcessId> init) {
+    v_.reserve(init.size());
+    for (ProcessId p : init) insert(p);
+  }
+  template <typename It>
+  PidSet(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+  // Ordered sets convert freely (tests, local-view snapshots); both
+  // containers iterate in the same ascending order.
+  PidSet(const std::set<ProcessId>& s)  // NOLINT(google-explicit-constructor)
+      : v_(s.begin(), s.end()) {}
+
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  bool insert(ProcessId p) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), p);
+    if (it != v_.end() && *it == p) return false;
+    v_.insert(it, p);
+    return true;
+  }
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  std::size_t count(ProcessId p) const {
+    return std::binary_search(v_.begin(), v_.end(), p) ? 1 : 0;
+  }
+  bool contains(ProcessId p) const { return count(p) != 0; }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+  void clear() { v_.clear(); }
+
+  friend bool operator==(const PidSet& a, const PidSet& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const PidSet& a, const PidSet& b) {
+    return a.v_ != b.v_;
+  }
+
+ private:
+  std::vector<ProcessId> v_;  // sorted, unique
+};
+
+}  // namespace riv

@@ -29,8 +29,7 @@ void GaplessStream::on_device_event(const devices::SensorEvent& e) {
 }
 
 void GaplessStream::accept_new_event(const devices::SensorEvent& e,
-                                     std::set<ProcessId> seen,
-                                     std::set<ProcessId> need) {
+                                     PidSet seen, PidSet need) {
   if (trace::active(trace::Component::kDelivery)) {
     trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
                 trace::Kind::kIngest,
@@ -46,8 +45,8 @@ void GaplessStream::accept_new_event(const devices::SensorEvent& e,
 }
 
 void GaplessStream::forward_to_successor(const devices::SensorEvent& e,
-                                         const std::set<ProcessId>& seen,
-                                         const std::set<ProcessId>& need) {
+                                         const PidSet& seen,
+                                         const PidSet& need) {
   std::optional<ProcessId> succ = ring_successor();
   if (!succ) return;
   wire::RingPayload p;
@@ -66,9 +65,9 @@ void GaplessStream::on_ring(ProcessId from, const wire::RingPayload& p) {
   if (!ctx_.log->seen(e.id)) {
     // First sight: extend S with ourselves, V with our local view, deliver
     // and keep the ring moving.
-    std::set<ProcessId> seen = p.seen;
+    PidSet seen = p.seen;
     seen.insert(ctx_.self);
-    std::set<ProcessId> need = p.need;
+    PidSet need = p.need;
     const std::set<ProcessId>& view = ctx_.view();
     need.insert(view.begin(), view.end());
     accept_new_event(e, std::move(seen), std::move(need));
@@ -101,7 +100,7 @@ void GaplessStream::initiate_reliable_broadcast(EventId id) {
                     " event=" + riv::to_string(id));
   }
 
-  std::set<ProcessId> targets = stored->need;
+  PidSet targets = stored->need;
   const std::set<ProcessId>& view = ctx_.view();
   targets.insert(view.begin(), view.end());
 
@@ -109,7 +108,7 @@ void GaplessStream::initiate_reliable_broadcast(EventId id) {
   p.app = ctx_.app;
   p.sensor = id.sensor;
   p.event = stored->event;
-  std::vector<std::byte> payload = wire::encode_event_payload(p);
+  net::Payload payload = wire::encode_event_payload(p);  // shared by all targets
   for (ProcessId t : targets) {
     if (t == ctx_.self) continue;
     ctx_.send(t, net::MsgType::kRbEvent, payload);
@@ -120,8 +119,8 @@ void GaplessStream::on_rb(ProcessId from, const wire::EventPayload& p) {
   const devices::SensorEvent& e = p.event;
   if (!ctx_.log->seen(e.id)) {
     const std::set<ProcessId>& view = ctx_.view();
-    std::set<ProcessId> need(view.begin(), view.end());
-    ctx_.log->append(e, {ctx_.self, from}, need);
+    PidSet need(view.begin(), view.end());
+    ctx_.log->append(e, {ctx_.self, from}, std::move(need));
     note_epoch(e);
     ctx_.deliver(e);
     // Eager re-flood once: guarantees delivery to every correct process
@@ -133,7 +132,7 @@ void GaplessStream::on_rb(ProcessId from, const wire::EventPayload& p) {
 void GaplessStream::reflood(ProcessId origin, const wire::EventPayload& p) {
   if (rb_done_.count(p.event.id) != 0) return;
   rb_done_.insert(p.event.id);
-  std::vector<std::byte> payload = wire::encode_event_payload(p);
+  net::Payload payload = wire::encode_event_payload(p);  // shared by all targets
   for (ProcessId t : ctx_.view()) {
     if (t == ctx_.self || t == origin) continue;
     ctx_.send(t, net::MsgType::kRbEvent, payload);
@@ -145,15 +144,20 @@ void GaplessStream::sync_successor(ProcessId successor,
   // Re-send every stored event the new successor has not received, as
   // ring messages carrying our best S/V knowledge (so the protocol's
   // stall detection keeps working across the re-sent suffix).
-  for (const StoredEvent* se :
-       ctx_.log->events_after(ctx_.edge.sensor, their_high_water)) {
-    wire::RingPayload p;
-    p.app = ctx_.app;
-    p.sensor = ctx_.edge.sensor;
+  const std::vector<const StoredEvent*> missing =
+      ctx_.log->events_after(ctx_.edge.sensor, their_high_water);
+  if (missing.empty()) return;
+  // The view cannot change while this loop runs; snapshot it once, and
+  // reuse one payload object so the per-event cost is only the copies the
+  // wire format actually needs.
+  const PidSet view(ctx_.view());
+  wire::RingPayload p;
+  p.app = ctx_.app;
+  p.sensor = ctx_.edge.sensor;
+  for (const StoredEvent* se : missing) {
     p.seen = se->seen;
     p.seen.insert(ctx_.self);
     p.need = se->need;
-    const std::set<ProcessId>& view = ctx_.view();
     p.need.insert(view.begin(), view.end());
     p.event = se->event;
     ++ring_forwards_;

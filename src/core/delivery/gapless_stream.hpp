@@ -59,11 +59,10 @@ class GaplessStream {
 
  private:
   std::optional<ProcessId> ring_successor() const;
-  void accept_new_event(const devices::SensorEvent& e,
-                        std::set<ProcessId> seen, std::set<ProcessId> need);
+  void accept_new_event(const devices::SensorEvent& e, PidSet seen,
+                        PidSet need);
   void forward_to_successor(const devices::SensorEvent& e,
-                            const std::set<ProcessId>& seen,
-                            const std::set<ProcessId>& need);
+                            const PidSet& seen, const PidSet& need);
   void initiate_reliable_broadcast(EventId id);
   void reflood(ProcessId origin, const wire::EventPayload& p);
   void note_epoch(const devices::SensorEvent& e);

@@ -36,7 +36,10 @@ struct StreamContext {
 
   // Actions performed by the runtime.
   std::function<void(const devices::SensorEvent&)> deliver;  // to local logic
-  std::function<void(ProcessId, net::MsgType, std::vector<std::byte>)> send;
+  // Payload converts from std::vector<std::byte>; fan-out paths build one
+  // Payload and hand it to every target so the buffer is shared, not
+  // re-copied per peer.
+  std::function<void(ProcessId, net::MsgType, net::Payload)> send;
   std::function<void(std::uint32_t epoch)> staleness;  // epoch had no event
   std::function<void(std::uint32_t epoch)> poll;       // issue a device poll
 

@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "common/pid_set.hpp"
 #include "devices/event.hpp"
 #include "sim/stable_store.hpp"
 
@@ -26,8 +26,8 @@ namespace riv::core {
 
 struct StoredEvent {
   devices::SensorEvent event;
-  std::set<ProcessId> seen;     // S
-  std::set<ProcessId> need;     // V
+  PidSet seen;  // S
+  PidSet need;  // V
 };
 
 class EventLog {
@@ -40,12 +40,10 @@ class EventLog {
 
   // Insert if new; returns false (and leaves the log unchanged) for
   // duplicates.
-  bool append(const devices::SensorEvent& e, std::set<ProcessId> s,
-              std::set<ProcessId> v);
+  bool append(const devices::SensorEvent& e, PidSet s, PidSet v);
 
   // Merge updated S/V knowledge about an already-stored event.
-  void merge_sets(EventId id, const std::set<ProcessId>& s,
-                  const std::set<ProcessId>& v);
+  void merge_sets(EventId id, const PidSet& s, const PidSet& v);
 
   const StoredEvent* find(EventId id) const;
 
@@ -77,24 +75,42 @@ class EventLog {
   void recover();
 
  private:
+  // One per-sensor stream plus the bookkeeping that keeps the sync-path
+  // queries (prefix_high_water, events_after) off O(n) scans: syncs run
+  // every anti-entropy period on every process, so they sit on the
+  // simulation hot path (DESIGN.md §9).
+  struct Stream {
+    // Ordered by sequence number (== emission order per sensor).
+    std::map<std::uint32_t, StoredEvent> events;
+    // Lowest sequence this log is still expected to hold (raised only by
+    // capacity eviction). The contiguous prefix is measured from here, so
+    // a node that missed a stream's beginning reports prefix 0 and gets
+    // the full history re-sent, instead of hiding the gap.
+    std::uint32_t first_retained{1};
+    // One past the contiguous run [first_retained, prefix_next): every
+    // sequence in that range is present. Maintained incrementally on
+    // append/evict so prefix_high_water() is a lookup, not a walk.
+    std::uint32_t prefix_next{1};
+    // emitted_at is nondecreasing in seq for real sensors (both advance
+    // together at emission; anti-entropy re-sends carry the original
+    // stamps). The fast paths rely on this; a fabricated out-of-order
+    // append flips the flag and queries fall back to full scans.
+    bool monotone{true};
+  };
+
   std::string event_key(EventId id) const;
   std::string hw_key(SensorId sensor) const;
   std::string retained_key(SensorId sensor) const;
   void persist(const StoredEvent& se);
-  void evict(SensorId sensor);
-  std::uint32_t first_retained(SensorId sensor) const;
+  void evict(SensorId sensor, Stream& stream);
+  // Advance prefix_next over whatever contiguous run is now present.
+  static void advance_prefix(Stream& stream);
 
   AppId app_;
   sim::StableStore* store_;
   std::size_t cap_;
-  // Per sensor, ordered by sequence number (== emission order per sensor).
-  std::map<SensorId, std::map<std::uint32_t, StoredEvent>> streams_;
+  std::map<SensorId, Stream> streams_;
   std::map<SensorId, TimePoint> processed_hw_;
-  // Lowest sequence this log is still expected to hold (raised only by
-  // capacity eviction). The contiguous prefix is measured from here, so a
-  // node that missed a stream's beginning reports prefix 0 and gets the
-  // full history re-sent, instead of hiding the gap.
-  std::map<SensorId, std::uint32_t> first_retained_;
 };
 
 }  // namespace riv::core

@@ -234,12 +234,21 @@ RivuletProcess::StreamState RivuletProcess::make_stream(
     net_->endpoint(self_).send(dst, type, std::move(payload));
   };
   SensorId sensor = edge.sensor;
-  ctx.staleness = [this, app_id, &app, sensor](std::uint32_t epoch) {
-    metrics_->counter(metric_prefix(app_id) + ".staleness").add(1);
+  // Both callbacks fire repeatedly; resolve their counters once.
+  ctx.staleness = [this, app_id, &app, sensor,
+                   c = static_cast<metrics::Counter*>(nullptr)](
+                      std::uint32_t epoch) mutable {
+    if (c == nullptr)
+      c = &metrics_->counter(metric_prefix(app_id) + ".staleness");
+    c->add(1);
     if (app.logic) app.logic->on_staleness_violation(sensor, epoch);
   };
-  ctx.poll = [this, sensor](std::uint32_t epoch) {
-    metrics_->counter("polls.issued.s" + std::to_string(sensor.value)).add(1);
+  ctx.poll = [this, sensor, c = static_cast<metrics::Counter*>(nullptr)](
+                 std::uint32_t epoch) mutable {
+    if (c == nullptr)
+      c = &metrics_->counter("polls.issued.s" +
+                             std::to_string(sensor.value));
+    c->add(1);
     bus_->poll(self_, sensor, epoch);
   };
   ctx.timers = timers_.get();
@@ -259,10 +268,12 @@ RivuletProcess::StreamState RivuletProcess::make_stream(
 // --- device ingest -------------------------------------------------------
 
 void RivuletProcess::on_device_event(const devices::SensorEvent& e) {
-  metrics_
-      ->counter("ingest.p" + std::to_string(self_.value) + ".s" +
-                std::to_string(e.id.sensor.value))
-      .add(1);
+  metrics::Counter*& ingest = ingest_counters_[e.id.sensor];
+  if (ingest == nullptr) {
+    ingest = &metrics_->counter("ingest.p" + std::to_string(self_.value) +
+                                ".s" + std::to_string(e.id.sensor.value));
+  }
+  ingest->add(1);
   for (auto& [id, app] : apps_) {
     auto it = app.streams.find(e.id.sensor);
     if (it == app.streams.end()) continue;
@@ -281,7 +292,13 @@ void RivuletProcess::on_message(const net::Message& msg) {
       fd_->on_keepalive(msg);
       return;
     case net::MsgType::kRingEvent: {
-      wire::RingPayload p = wire::decode_ring(msg.payload);
+      // Scratch payload: ring events dominate message traffic, and the
+      // handlers below never re-enter this decode (sends only schedule
+      // future deliveries), so the S/V buffers can be reused across
+      // messages. thread_local for the parallel seed-sweep runner.
+      thread_local wire::RingPayload p;
+      RIV_ASSERT(wire::decode_ring_into(msg.payload, p),
+                 "corrupt ring payload");
       auto ait = apps_.find(p.app);
       if (ait == apps_.end()) return;
       auto sit = ait->second.streams.find(p.sensor);
@@ -432,10 +449,10 @@ void RivuletProcess::promote(AppId id, AppState& app) {
   app.logic->start();
   metrics_->counter(metric_prefix(id) + ".promotions").add(1);
   replay_backlog(id, app);
+  net::Payload rc = wire::encode_role_change(id);  // shared by all peers
   for (ProcessId p : fd_->view()) {
     if (p != self_)
-      net_->endpoint(self_).send(p, net::MsgType::kPromote,
-                                 wire::encode_role_change(id));
+      net_->endpoint(self_).send(p, net::MsgType::kPromote, rc);
   }
 }
 
@@ -448,10 +465,10 @@ void RivuletProcess::demote(AppId id, AppState& app) {
   }
   app.logic.reset();
   metrics_->counter(metric_prefix(id) + ".demotions").add(1);
+  net::Payload rc = wire::encode_role_change(id);  // shared by all peers
   for (ProcessId p : fd_->view()) {
     if (p != self_)
-      net_->endpoint(self_).send(p, net::MsgType::kDemote,
-                                 wire::encode_role_change(id));
+      net_->endpoint(self_).send(p, net::MsgType::kDemote, rc);
   }
 }
 
@@ -500,14 +517,22 @@ void RivuletProcess::deliver_to_logic(AppId id, AppState& app,
                 "app=" + std::to_string(id.value) +
                     " event=" + riv::to_string(e.id));
   }
-  const std::string prefix = metric_prefix(id);
-  if (!app.instance_delivered.insert(e.id).second)
-    metrics_->counter(prefix + ".dup_instance_delivery").add(1);
-  metrics::Counter& delivered = metrics_->counter(prefix + ".delivered");
-  delivered.add(1);
-  metrics_->latency(prefix + ".delay").record(sim_->now() - e.emitted_at);
-  metrics_->series(prefix + ".delivered_ts")
-      .append(sim_->now(), static_cast<double>(delivered.value()));
+  if (!app.instance_delivered.insert(e.id).second) {
+    if (app.m_dup_instance == nullptr)
+      app.m_dup_instance =
+          &metrics_->counter(metric_prefix(id) + ".dup_instance_delivery");
+    app.m_dup_instance->add(1);
+  }
+  if (app.m_delivered == nullptr) {
+    const std::string prefix = metric_prefix(id);
+    app.m_delivered = &metrics_->counter(prefix + ".delivered");
+    app.m_delay = &metrics_->latency(prefix + ".delay");
+    app.m_delivered_ts = &metrics_->series(prefix + ".delivered_ts");
+  }
+  app.m_delivered->add(1);
+  app.m_delay->record(sim_->now() - e.emitted_at);
+  app.m_delivered_ts->append(sim_->now(),
+                             static_cast<double>(app.m_delivered->value()));
 
   auto sit = app.streams.find(e.id.sensor);
   if (sit != app.streams.end() && sit->second.gapless)
@@ -551,7 +576,7 @@ void RivuletProcess::route_command(AppId id, AppState& app,
   payload.app = id;
   payload.guarantee = static_cast<std::uint8_t>(edge.guarantee);
   payload.command = cmd;
-  std::vector<std::byte> bytes = wire::encode(payload);
+  net::Payload bytes = wire::encode(payload);  // shared across all targets
   if (edge.guarantee == appmodel::Guarantee::kGapless) {
     // Replicate to every active actuator node and keep the command
     // pending until one of them acknowledges; the device's idempotence or
@@ -584,7 +609,7 @@ void RivuletProcess::retry_pending_commands() {
         pending.last_sent = sim_->now();
         std::vector<ProcessId> targets =
             actuator_targets(pending.payload.command.actuator);
-        std::vector<std::byte> bytes = wire::encode(pending.payload);
+        net::Payload bytes = wire::encode(pending.payload);  // shared buffer
         bool local = false;
         for (ProcessId p : targets) {
           if (p == self_) {

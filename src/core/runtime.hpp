@@ -96,6 +96,14 @@ class RivuletProcess {
     std::set<CommandId> commands_seen;
     std::map<CommandId, PendingCommand> pending_commands;
     std::uint64_t delivered{0};
+    // Per-event metric handles, resolved lazily on first use (Registry
+    // references are stable for its lifetime). deliver_to_logic() runs
+    // once per delivered event and must not rebuild "appN.xyz" name
+    // strings each time.
+    metrics::Counter* m_delivered{nullptr};
+    metrics::Counter* m_dup_instance{nullptr};
+    metrics::LatencyRecorder* m_delay{nullptr};
+    metrics::TimeSeries* m_delivered_ts{nullptr};
     // Events fed to the CURRENT logic instance (cleared on promotion).
     // Feeding one instance the same event twice is a delivery-service bug
     // for both guarantees (§4.2 Gap dedup; Gapless log-exact dedup), so
@@ -164,6 +172,10 @@ class RivuletProcess {
   std::unique_ptr<membership::FailureDetector> fd_;
   std::unique_ptr<store::ReplicatedStore> kv_;
   std::map<AppId, AppState> apps_;
+  // Lazily resolved "ingest.pX.sY" counters, one per sensor: device ingest
+  // is per-event-hot and must not rebuild the counter name each time.
+  // Registry references stay valid across crash/recover cycles.
+  std::map<SensorId, metrics::Counter*> ingest_counters_;
   // Periodic anti-entropy + command-retry closure; queued timer copies
   // capture `this` only, so no shared_ptr self-cycle (leak) exists.
   std::function<void()> periodic_;

@@ -13,21 +13,34 @@ bool consumed(const BinaryReader& r) { return r.ok() && r.at_end(); }
 
 }  // namespace
 
-void write_pid_set(BinaryWriter& w, const std::set<ProcessId>& s) {
+void write_pid_set(BinaryWriter& w, const PidSet& s) {
   RIV_ASSERT(s.size() <= 255, "process-id set too large for the wire");
   w.u8(static_cast<std::uint8_t>(s.size()));
   for (ProcessId p : s) w.process_id(p);
 }
 
-std::set<ProcessId> read_pid_set(BinaryReader& r) {
-  std::set<ProcessId> out;
+namespace {
+
+void read_pid_set_into(BinaryReader& r, PidSet& out) {
+  out.clear();
   std::uint8_t n = r.u8();
+  out.reserve(n);
+  // Encoded sets are already ascending, so each insert is an append.
   for (std::uint8_t i = 0; i < n; ++i) out.insert(r.process_id());
+}
+
+}  // namespace
+
+PidSet read_pid_set(BinaryReader& r) {
+  PidSet out;
+  read_pid_set_into(r, out);
   return out;
 }
 
 std::vector<std::byte> encode(const RingPayload& p) {
   BinaryWriter w;
+  w.reserve(6 + 2 * (p.seen.size() + p.need.size()) +
+            p.event.wire_size());
   w.app_id(p.app);
   w.sensor_id(p.sensor);
   write_pid_set(w, p.seen);
@@ -36,16 +49,20 @@ std::vector<std::byte> encode(const RingPayload& p) {
   return w.take();
 }
 
-std::optional<RingPayload> try_decode_ring(
-    const std::vector<std::byte>& buf) {
+bool decode_ring_into(const std::vector<std::byte>& buf, RingPayload& p) {
   BinaryReader r(buf);
-  RingPayload p;
   p.app = r.app_id();
   p.sensor = r.sensor_id();
-  p.seen = read_pid_set(r);
-  p.need = read_pid_set(r);
+  read_pid_set_into(r, p.seen);
+  read_pid_set_into(r, p.need);
   p.event = devices::decode_event(r);
-  if (!consumed(r)) return std::nullopt;
+  return consumed(r);
+}
+
+std::optional<RingPayload> try_decode_ring(
+    const std::vector<std::byte>& buf) {
+  RingPayload p;
+  if (!decode_ring_into(buf, p)) return std::nullopt;
   return p;
 }
 
@@ -57,6 +74,7 @@ RingPayload decode_ring(const std::vector<std::byte>& buf) {
 
 std::vector<std::byte> encode_event_payload(const EventPayload& p) {
   BinaryWriter w;
+  w.reserve(4 + p.event.wire_size());
   w.app_id(p.app);
   w.sensor_id(p.sensor);
   devices::encode(w, p.event);
@@ -102,6 +120,7 @@ AppId decode_sync_request(const std::vector<std::byte>& buf) {
 
 std::vector<std::byte> encode(const SyncResponse& p) {
   BinaryWriter w;
+  w.reserve(4 + 10 * p.high_waters.size());
   w.app_id(p.app);
   w.u16(static_cast<std::uint16_t>(p.high_waters.size()));
   for (const auto& [sensor, hw] : p.high_waters) {

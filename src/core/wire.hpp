@@ -12,29 +12,34 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "common/codec.hpp"
+#include "common/pid_set.hpp"
 #include "devices/event.hpp"
 
 namespace riv::core::wire {
 
-void write_pid_set(BinaryWriter& w, const std::set<ProcessId>& s);
-std::set<ProcessId> read_pid_set(BinaryReader& r);
+void write_pid_set(BinaryWriter& w, const PidSet& s);
+PidSet read_pid_set(BinaryReader& r);
 
 // kRingEvent: app (2) | sensor (2) | S (1 + 2|S|) | V (1 + 2|V|) | event.
 struct RingPayload {
   AppId app{};
   SensorId sensor{};
-  std::set<ProcessId> seen;  // S
-  std::set<ProcessId> need;  // V
+  PidSet seen;  // S
+  PidSet need;  // V
   devices::SensorEvent event{};
 };
 std::vector<std::byte> encode(const RingPayload& p);
 RingPayload decode_ring(const std::vector<std::byte>& buf);
 std::optional<RingPayload> try_decode_ring(const std::vector<std::byte>& buf);
+// Decode into a caller-owned payload, reusing its S/V vector capacity.
+// Ring events are the most frequent message on a Gapless deployment, so
+// the receive path keeps a scratch payload instead of allocating per
+// message. Returns false on corrupt input (payload left unspecified).
+bool decode_ring_into(const std::vector<std::byte>& buf, RingPayload& p);
 
 // kRbEvent / kGapForward: app (2) | sensor (2) | event.
 struct EventPayload {

@@ -20,6 +20,11 @@ void write_quantized(BinaryWriter& w, double value, std::uint32_t n) {
 }
 
 double read_quantized(BinaryReader& r, std::uint32_t n) {
+  // n == 0 only arrives from corrupt input (encode asserts >= 1, and a
+  // truncated buffer reads payload_size as 0); the caller's consumed()
+  // check rejects the message, so any value works — but the sign-extend
+  // below must not shift by -1.
+  if (n == 0) return 0.0;
   std::uint64_t raw = 0;
   for (std::uint32_t i = 0; i < n; ++i)
     raw |= static_cast<std::uint64_t>(r.u8()) << (8 * i);

@@ -28,15 +28,17 @@ void FailureDetector::start() {
 }
 
 void FailureDetector::tick() {
-  // Send keep-alives.
+  // Send keep-alives. The frame is identical for every peer (same
+  // timestamp, same piggyback), so encode once and share the buffer.
   std::vector<std::byte> extra;
   if (provider_) extra = provider_();
+  BinaryWriter w;
+  w.time_point(timers_->now());
+  w.bytes(extra);
+  net::Payload payload = w.take();
   for (ProcessId p : all_) {
     if (p == self_) continue;
-    BinaryWriter w;
-    w.time_point(timers_->now());
-    w.bytes(extra);
-    transport_->send(p, net::MsgType::kKeepAlive, w.take());
+    transport_->send(p, net::MsgType::kKeepAlive, payload);
   }
   recompute_view();
   timers_->schedule_after(config_.period, [this] { tick(); });
@@ -47,24 +49,34 @@ void FailureDetector::on_keepalive(const net::Message& msg) {
   if (handler_) {
     BinaryReader r(msg.payload);
     (void)r.time_point();  // sender timestamp (unused; clocks are synced)
-    std::vector<std::byte> extra = r.bytes();
-    if (!extra.empty()) {
-      BinaryReader pr(extra);
-      handler_(msg.src, pr);
-    }
+    // The piggyback is length-prefixed; decode it in place from the frame
+    // buffer instead of copying it out first.
+    std::uint32_t extra_len = r.u32();
+    if (extra_len > 0) handler_(msg.src, r);
   }
   recompute_view();
 }
 
 void FailureDetector::recompute_view() {
-  std::set<ProcessId> next;
-  next.insert(self_);  // p_i never suspects itself (§4.1)
+  // Build the candidate view into a scratch vector — sorted for free,
+  // since last_heard_ iterates in ProcessId order and self_ is merged at
+  // its rank — and only materialize the std::set when membership changed.
+  scratch_.clear();
   TimePoint now = timers_->now();
+  bool self_placed = false;
   for (const auto& [p, heard] : last_heard_) {
-    if (now - heard <= config_.timeout) next.insert(p);
+    if (p == self_) continue;  // p_i never suspects itself (§4.1)
+    if (!self_placed && self_ < p) {
+      scratch_.push_back(self_);
+      self_placed = true;
+    }
+    if (now - heard <= config_.timeout) scratch_.push_back(p);
   }
-  if (next != view_) {
-    view_ = std::move(next);
+  if (!self_placed) scratch_.push_back(self_);
+  if (scratch_ != view_flat_) {
+    view_flat_ = scratch_;
+    view_.clear();
+    view_.insert(scratch_.begin(), scratch_.end());
     RIV_DEBUG("membership", riv::to_string(self_) << " view size "
                                                   << view_.size());
     if (trace::active(trace::Component::kMembership)) {

@@ -66,6 +66,11 @@ class FailureDetector {
 
   std::map<ProcessId, TimePoint> last_heard_;
   std::set<ProcessId> view_;
+  // Sorted mirror of view_ plus a scratch buffer: recompute_view() runs on
+  // every received keep-alive, and the common "nothing changed" case must
+  // not rebuild a std::set just to compare and discard it.
+  std::vector<ProcessId> view_flat_;
+  std::vector<ProcessId> scratch_;
   ViewChangeFn on_view_change_;
   PayloadProvider provider_;
   PayloadHandler handler_;

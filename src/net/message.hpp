@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/types.hpp"
+#include "net/payload.hpp"
 
 namespace riv::net {
 
@@ -54,7 +54,10 @@ struct Message {
   ProcessId src{};
   ProcessId dst{};
   MsgType type{};
-  std::vector<std::byte> payload;
+  // Shared immutable buffer: copying a Message (e.g. per broadcast target
+  // or into an in-flight delivery closure) bumps a refcount instead of
+  // deep-copying the bytes.
+  Payload payload;
 
   std::size_t wire_size() const { return kHeaderBytes + payload.size(); }
 };

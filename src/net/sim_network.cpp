@@ -38,8 +38,7 @@ class SimNetwork::Endpoint : public Transport {
 
   ProcessId local() const override { return id_; }
 
-  void send(ProcessId dst, MsgType type,
-            std::vector<std::byte> payload) override {
+  void send(ProcessId dst, MsgType type, Payload payload) override {
     Message msg;
     msg.src = id_;
     msg.dst = dst;
@@ -66,17 +65,52 @@ SimNetwork::SimNetwork(sim::Simulation& sim, metrics::Registry& metrics,
 
 SimNetwork::~SimNetwork() = default;
 
+int SimNetwork::ensure_index(ProcessId p) {
+  if (p.value >= pid_to_idx_.size())
+    pid_to_idx_.resize(p.value + 1, std::int16_t{-1});
+  if (pid_to_idx_[p.value] >= 0) return pid_to_idx_[p.value];
+
+  std::size_t old_n = procs_.size();
+  std::size_t n = old_n + 1;
+  pid_to_idx_[p.value] = static_cast<std::int16_t>(old_n);
+  procs_.emplace_back();
+  procs_.back().pid = p;
+
+  // Grow the n×n edge matrices in place (row-major re-pack; registration
+  // is rare and n is home-deployment-sized, so simplicity wins).
+  auto regrow = [&](auto& m, auto zero) {
+    std::decay_t<decltype(m)> fresh(n * n, zero);
+    for (std::size_t s = 0; s < old_n; ++s)
+      for (std::size_t d = 0; d < old_n; ++d)
+        fresh[s * n + d] = m[s * old_n + d];
+    m = std::move(fresh);
+  };
+  regrow(edge_down_, std::uint8_t{0});
+  regrow(edge_delay_us_, std::int64_t{0});
+  regrow(edge_loss_, 0.0);
+  regrow(last_delivery_us_, std::int64_t{0});
+  return static_cast<int>(old_n);
+}
+
 Transport& SimNetwork::endpoint(ProcessId p) {
-  auto it = endpoints_.find(p);
-  if (it == endpoints_.end()) {
-    it = endpoints_.emplace(p, std::make_unique<Endpoint>(*this, p)).first;
-    up_.emplace(p, true);
+  int i = ensure_index(p);
+  Proc& proc = procs_[i];
+  if (!proc.ep) {
+    proc.ep = std::make_unique<Endpoint>(*this, p);
+    if (!proc.up_set) {
+      proc.up = true;
+      proc.up_set = true;
+      ++up_count_;
+    }
   }
-  return *it->second;
+  return *proc.ep;
 }
 
 void SimNetwork::set_process_up(ProcessId p, bool up) {
-  up_[p] = up;
+  Proc& proc = procs_[ensure_index(p)];
+  if (proc.up != up) up_count_ += up ? 1 : -1;
+  proc.up = up;
+  proc.up_set = true;
   if (trace::active(trace::Component::kNet)) {
     trace::emit(sim_->now(), p, trace::Component::kNet, trace::Kind::kLink,
                 std::string("process up=") + (up ? "1" : "0"));
@@ -84,16 +118,16 @@ void SimNetwork::set_process_up(ProcessId p, bool up) {
 }
 
 bool SimNetwork::process_up(ProcessId p) const {
-  auto it = up_.find(p);
-  return it != up_.end() && it->second;
+  int i = index_of(p);
+  return i >= 0 && procs_[i].up;
 }
 
 void SimNetwork::set_partition(const std::vector<std::set<ProcessId>>& groups) {
-  partition_group_.clear();
+  for (Proc& proc : procs_) proc.group = 0;
   partitioned_ = true;
   int g = 1;
   for (const auto& group : groups) {
-    for (ProcessId p : group) partition_group_[p] = g;
+    for (ProcessId p : group) procs_[ensure_index(p)].group = g;
     ++g;
   }
   if (trace::active(trace::Component::kNet)) {
@@ -114,7 +148,7 @@ void SimNetwork::set_partition(const std::vector<std::set<ProcessId>>& groups) {
 }
 
 void SimNetwork::heal_partition() {
-  partition_group_.clear();
+  for (Proc& proc : procs_) proc.group = 0;
   partitioned_ = false;
   trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
               trace::Kind::kLink, "heal_partition");
@@ -123,20 +157,20 @@ void SimNetwork::heal_partition() {
 bool SimNetwork::connected(ProcessId a, ProcessId b) const {
   if (a == b) return true;
   if (!partitioned_) return true;
-  auto ia = partition_group_.find(a);
-  auto ib = partition_group_.find(b);
+  int ia = index_of(a);
+  int ib = index_of(b);
   // Unmentioned processes are singleton groups: only reachable from
   // themselves while the partition lasts.
-  if (ia == partition_group_.end() || ib == partition_group_.end())
-    return false;
-  return ia->second == ib->second;
+  if (ia < 0 || ib < 0) return false;
+  int ga = procs_[ia].group;
+  int gb = procs_[ib].group;
+  return ga != 0 && ga == gb;
 }
 
 void SimNetwork::set_reachable(ProcessId src, ProcessId dst, bool up) {
-  if (up)
-    edge_down_.erase({src, dst});
-  else
-    edge_down_.insert({src, dst});
+  int s = ensure_index(src);
+  int d = ensure_index(dst);
+  edge_down_[edge(s, d)] = up ? 0 : 1;
   if (trace::active(trace::Component::kNet)) {
     trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
                 trace::Kind::kLink,
@@ -147,7 +181,7 @@ void SimNetwork::set_reachable(ProcessId src, ProcessId dst, bool up) {
 }
 
 void SimNetwork::clear_reachable_overrides() {
-  edge_down_.clear();
+  std::fill(edge_down_.begin(), edge_down_.end(), std::uint8_t{0});
   trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
               trace::Kind::kLink, "clear_reachable_overrides");
 }
@@ -155,15 +189,17 @@ void SimNetwork::clear_reachable_overrides() {
 bool SimNetwork::reachable(ProcessId src, ProcessId dst) const {
   if (src == dst) return true;
   if (!connected(src, dst)) return false;
-  return edge_down_.count({src, dst}) == 0;
+  int s = index_of(src);
+  int d = index_of(dst);
+  if (s < 0 || d < 0) return true;  // no override can exist for them
+  return edge_down_[edge(s, d)] == 0;
 }
 
 void SimNetwork::set_edge_delay(ProcessId src, ProcessId dst,
                                 Duration extra) {
-  if (extra.us <= 0)
-    edge_delay_.erase({src, dst});
-  else
-    edge_delay_[{src, dst}] = extra;
+  int s = ensure_index(src);
+  int d = ensure_index(dst);
+  edge_delay_us_[edge(s, d)] = extra.us <= 0 ? 0 : extra.us;
   if (trace::active(trace::Component::kNet)) {
     trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
                 trace::Kind::kLink,
@@ -175,10 +211,9 @@ void SimNetwork::set_edge_delay(ProcessId src, ProcessId dst,
 
 void SimNetwork::set_edge_loss(ProcessId src, ProcessId dst,
                                double loss_prob) {
-  if (loss_prob <= 0.0)
-    edge_loss_.erase({src, dst});
-  else
-    edge_loss_[{src, dst}] = loss_prob;
+  int s = ensure_index(src);
+  int d = ensure_index(dst);
+  edge_loss_[edge(s, d)] = loss_prob <= 0.0 ? 0.0 : loss_prob;
   if (trace::active(trace::Component::kNet)) {
     // Report loss as an integer permille so the detail string never
     // depends on float formatting.
@@ -192,17 +227,10 @@ void SimNetwork::set_edge_loss(ProcessId src, ProcessId dst,
 }
 
 void SimNetwork::clear_edge_overrides() {
-  edge_delay_.clear();
-  edge_loss_.clear();
+  std::fill(edge_delay_us_.begin(), edge_delay_us_.end(), std::int64_t{0});
+  std::fill(edge_loss_.begin(), edge_loss_.end(), 0.0);
   trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
               trace::Kind::kLink, "clear_edge_overrides");
-}
-
-int SimNetwork::up_count() const {
-  int n = 0;
-  for (const auto& [p, up] : up_)
-    if (up) ++n;
-  return n;
 }
 
 Duration SimNetwork::frame_delay(std::size_t bytes) {
@@ -210,43 +238,42 @@ Duration SimNetwork::frame_delay(std::size_t bytes) {
   double us = static_cast<double>(model_.base_latency.us);
   us += b / model_.bandwidth_bytes_per_us;
   us += b * model_.cpu_us_per_byte;
-  int extra_procs = std::max(0, up_count() - 2);
+  int extra_procs = std::max(0, up_count_ - 2);
   us += static_cast<double>(model_.congestion_per_process.us) * extra_procs;
   us *= 1.0 + sim_->rng().uniform(0.0, model_.jitter_frac);
   return Duration{static_cast<std::int64_t>(us)};
 }
 
 void SimNetwork::send_frame(Message msg) {
-  if (!process_up(msg.src)) return;  // a dead process sends nothing
+  int s = index_of(msg.src);  // senders are registered (they have an endpoint)
+  if (s < 0 || !procs_[s].up) return;  // a dead process sends nothing
   if (!reachable(msg.src, msg.dst)) {  // TCP reset: frame lost
     trace_frame(*sim_, trace::Kind::kDrop, msg, "unreachable");
     return;
   }
-  if (!edge_loss_.empty()) {
-    auto lit = edge_loss_.find({msg.src, msg.dst});
-    if (lit != edge_loss_.end() && sim_->rng().bernoulli(lit->second)) {
-      trace_frame(*sim_, trace::Kind::kDrop, msg, "edge_loss");
-      return;  // lossy path: frame dropped on the air
-    }
+  int d = ensure_index(msg.dst);
+  std::size_t e = edge(s, d);
+  if (double loss = edge_loss_[e];
+      loss > 0.0 && sim_->rng().bernoulli(loss)) {
+    trace_frame(*sim_, trace::Kind::kDrop, msg, "edge_loss");
+    return;  // lossy path: frame dropped on the air
   }
   trace_frame(*sim_, trace::Kind::kSend, msg);
 
-  const char* type_name = to_string(msg.type);
-  metrics_->counter(std::string("net.msgs.") + type_name).add(1);
-  metrics_->counter(std::string("net.bytes.") + type_name)
-      .add(msg.wire_size());
+  TypeCounters& tc = type_counters_[static_cast<std::size_t>(msg.type) & 15];
+  if (tc.msgs == nullptr) {
+    const char* type_name = to_string(msg.type);
+    tc.msgs = &metrics_->counter(std::string("net.msgs.") + type_name);
+    tc.bytes = &metrics_->counter(std::string("net.bytes.") + type_name);
+  }
+  tc.msgs->add(1);
+  tc.bytes->add(msg.wire_size());
 
   TimePoint deliver_at = sim_->now() + frame_delay(msg.wire_size());
-  if (!edge_delay_.empty()) {
-    auto dit = edge_delay_.find({msg.src, msg.dst});
-    if (dit != edge_delay_.end()) deliver_at = deliver_at + dit->second;
-  }
+  deliver_at = deliver_at + Duration{edge_delay_us_[e]};
   // Enforce per-pair FIFO: a later frame never overtakes an earlier one.
-  auto key = std::make_pair(msg.src, msg.dst);
-  auto it = last_delivery_.find(key);
-  if (it != last_delivery_.end() && deliver_at < it->second)
-    deliver_at = it->second;
-  last_delivery_[key] = deliver_at;
+  if (deliver_at.us < last_delivery_us_[e]) deliver_at.us = last_delivery_us_[e];
+  last_delivery_us_[e] = deliver_at.us;
 
   ++in_flight_;
   sim_->schedule_at(deliver_at, [this, msg = std::move(msg)]() {
@@ -258,10 +285,10 @@ void SimNetwork::send_frame(Message msg) {
       trace_frame(*sim_, trace::Kind::kDrop, msg, "in_flight");
       return;
     }
-    auto it = endpoints_.find(msg.dst);
-    if (it == endpoints_.end()) return;
+    Endpoint* ep = procs_[index_of(msg.dst)].ep.get();
+    if (ep == nullptr) return;
     trace_frame(*sim_, trace::Kind::kRecv, msg);
-    it->second->deliver(msg);
+    ep->deliver(msg);
   });
 }
 

@@ -23,9 +23,16 @@
 // Byte accounting: every frame put on the wire increments
 //   net.msgs.<type> and net.bytes.<type>
 // in the experiment's metrics Registry; Fig 5 reads these.
+//
+// Hot-path layout (DESIGN.md §9): every process gets a small dense index
+// at registration, and all per-process / per-directed-edge fault state
+// (liveness, partition group, edge-down, edge delay/loss, FIFO clamp)
+// lives in flat n- or n×n-arrays indexed by it — the per-frame path does
+// no tree or hash lookups. Per-MsgType metrics counters are resolved once
+// and cached, and the live-process count is maintained incrementally.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <vector>
@@ -87,7 +94,7 @@ class SimNetwork {
   void clear_edge_overrides();
 
   // Number of processes currently up (drives the congestion term).
-  int up_count() const;
+  int up_count() const { return up_count_; }
 
   const WifiModel& model() const { return model_; }
   metrics::Registry& metrics() { return *metrics_; }
@@ -98,21 +105,52 @@ class SimNetwork {
  private:
   class Endpoint;
 
+  struct Proc {
+    ProcessId pid{};
+    std::unique_ptr<Endpoint> ep;
+    bool up{false};
+    // Matches the old map semantics: process_up() is false until either
+    // endpoint() registers the process (initially up) or set_process_up()
+    // states it explicitly.
+    bool up_set{false};
+    int group{0};  // 0 = unmentioned by the current partition
+  };
+
+  struct TypeCounters {
+    metrics::Counter* msgs{nullptr};
+    metrics::Counter* bytes{nullptr};
+  };
+
+  // Dense index of p, registering it on first sight (matrices grow).
+  int ensure_index(ProcessId p);
+  // Dense index of p, or -1 if p was never seen.
+  int index_of(ProcessId p) const {
+    return p.value < pid_to_idx_.size() ? pid_to_idx_[p.value] : -1;
+  }
+  std::size_t edge(int s, int d) const {
+    return static_cast<std::size_t>(s) * procs_.size() +
+           static_cast<std::size_t>(d);
+  }
+
   void send_frame(Message msg);
   Duration frame_delay(std::size_t bytes);
 
   sim::Simulation* sim_;
   metrics::Registry* metrics_;
   WifiModel model_;
-  std::map<ProcessId, std::unique_ptr<Endpoint>> endpoints_;
-  std::map<ProcessId, bool> up_;
-  std::map<ProcessId, int> partition_group_;  // empty map = no partition
+
+  std::vector<std::int16_t> pid_to_idx_;  // ProcessId.value -> dense index
+  std::vector<Proc> procs_;
+  int up_count_{0};
   bool partitioned_{false};
-  // Directed edges forced down (asymmetric partitions); absent = up.
-  std::set<std::pair<ProcessId, ProcessId>> edge_down_;
-  std::map<std::pair<ProcessId, ProcessId>, Duration> edge_delay_;
-  std::map<std::pair<ProcessId, ProcessId>, double> edge_loss_;
-  std::map<std::pair<ProcessId, ProcessId>, TimePoint> last_delivery_;
+
+  // n×n matrices indexed by edge(src_idx, dst_idx); absent override = 0.
+  std::vector<std::uint8_t> edge_down_;
+  std::vector<std::int64_t> edge_delay_us_;
+  std::vector<double> edge_loss_;
+  std::vector<std::int64_t> last_delivery_us_;  // per-pair FIFO clamp
+
+  TypeCounters type_counters_[16];
   std::size_t in_flight_{0};
 };
 

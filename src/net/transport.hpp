@@ -23,9 +23,11 @@ class Transport {
 
   virtual ProcessId local() const = 0;
 
-  // Fire-and-forget send. Never blocks; delivery is asynchronous.
-  virtual void send(ProcessId dst, MsgType type,
-                    std::vector<std::byte> payload) = 0;
+  // Fire-and-forget send. Never blocks; delivery is asynchronous. The
+  // payload converts implicitly from std::vector<std::byte>; broadcast
+  // loops should build one Payload and pass it to every send so the
+  // targets share the buffer.
+  virtual void send(ProcessId dst, MsgType type, Payload payload) = 0;
 
   // Install the receive callback. Passing an empty handler detaches the
   // endpoint (used when a process crashes).

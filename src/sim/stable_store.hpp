@@ -6,19 +6,26 @@
 // a tiny persistent key-value area (flash on a hub, disk on a TV): writes
 // are atomic per key and survive crash/recover; volatile process state does
 // not.
+//
+// Writes sit on the event-log hot path (every appended event persists its
+// watermark), so the index is a hash map — O(1) amortized put/get instead
+// of a red-black-tree walk per key — and put() moves both key and value.
+// keys_with_prefix() sorts its (small, recovery-time-only) result so scan
+// order stays lexicographic and deterministic like the old ordered map.
 #pragma once
 
-#include <map>
+#include <algorithm>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace riv::sim {
 
 class StableStore {
  public:
-  void put(const std::string& key, std::vector<std::byte> value) {
-    data_[key] = std::move(value);
+  void put(std::string key, std::vector<std::byte> value) {
+    data_.insert_or_assign(std::move(key), std::move(value));
   }
   std::optional<std::vector<std::byte>> get(const std::string& key) const {
     auto it = data_.find(key);
@@ -32,15 +39,15 @@ class StableStore {
   // Keys with the given prefix, in lexicographic order (deterministic).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const {
     std::vector<std::string> out;
-    for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
-      if (it->first.rfind(prefix, 0) != 0) break;
-      out.push_back(it->first);
+    for (const auto& [key, value] : data_) {
+      if (key.rfind(prefix, 0) == 0) out.push_back(key);
     }
+    std::sort(out.begin(), out.end());
     return out;
   }
 
  private:
-  std::map<std::string, std::vector<std::byte>> data_;
+  std::unordered_map<std::string, std::vector<std::byte>> data_;
 };
 
 }  // namespace riv::sim

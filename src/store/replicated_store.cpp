@@ -52,7 +52,7 @@ void ReplicatedStore::put(const std::string& key, double value) {
   if (hooks_.send) {
     BinaryWriter w;
     encode_entry(w, key, e);
-    std::vector<std::byte> payload = w.take();
+    net::Payload payload = w.take();  // shared by every visible peer
     for (ProcessId p : hooks_.view()) {
       if (p != hooks_.self) hooks_.send(p, /*is_sync=*/false, payload);
     }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/codec.hpp"
+#include "net/payload.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stable_store.hpp"
 
@@ -52,9 +53,9 @@ class ReplicatedStore {
   struct Hooks {
     ProcessId self{};
     // Push an encoded update/sync payload to a peer; the runtime binds
-    // this to its transport (kStorePut / kStoreSync messages).
-    std::function<void(ProcessId, bool is_sync, std::vector<std::byte>)>
-        send;
+    // this to its transport (kStorePut / kStoreSync messages). Fan-out
+    // paths reuse one Payload for every peer.
+    std::function<void(ProcessId, bool is_sync, net::Payload)> send;
     std::function<const std::set<ProcessId>&()> view;
     sim::ProcessTimers* timers{nullptr};
     sim::StableStore* stable{nullptr};  // may be null (volatile store)

@@ -9,7 +9,10 @@ constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 constexpr std::uint32_t kFormatVersion = 1;
 constexpr char kMagic[4] = {'R', 'I', 'V', 'T'};
 
-Recorder* g_current = nullptr;
+// thread_local so each lane of a parallel seed sweep (chaos_run --jobs,
+// bench_util::parallel_map) can install its own recorder: a Scope on one
+// worker thread never bleeds records into — or observes — another lane.
+thread_local Recorder* g_current = nullptr;
 
 std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::byte>& bytes) {
   for (std::byte b : bytes) {

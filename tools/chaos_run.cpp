@@ -11,13 +11,19 @@
 //
 // Exit status: 0 clean; 1 invariant violation / determinism mismatch /
 // failed drain; 2 usage error.
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "chaos/engine.hpp"
 
@@ -26,14 +32,14 @@ namespace {
 using namespace riv;
 
 struct CliOptions {
-  std::uint64_t seed_lo{1};
-  std::uint64_t seed_hi{1};
+  std::vector<std::uint64_t> seeds{1};
   appmodel::Guarantee guarantee{appmodel::Guarantee::kGapless};
   int procs{4};
   int receivers{2};
   double loss{0.1};
   std::int64_t duration_s{60};
   std::int64_t check_interval_ms{500};
+  int jobs{1};
   bool verify_determinism{true};
   bool print_trace{false};
   bool demo_violation{false};
@@ -49,13 +55,16 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [options]\n"
       "  --seed N              run one seed (default 1)\n"
-      "  --seeds A..B          run an inclusive seed range\n"
+      "  --seeds A..B | a,b,c  run an inclusive range or an explicit list\n"
       "  --guarantee G         gapless | gap (default gapless)\n"
       "  --procs N             processes in the home (default 4)\n"
       "  --receivers M         processes linked to the sensor (default 2)\n"
       "  --loss P              baseline device link loss (default 0.1)\n"
       "  --duration S          chaos horizon, virtual seconds (default 60)\n"
       "  --check-interval MS   continuous-check period (default 500)\n"
+      "  --jobs N              run seeds on N worker threads (default 1);\n"
+      "                        per-seed results and output order are\n"
+      "                        identical to a serial run\n"
       "  --no-verify           skip the determinism double-run\n"
       "  --print-trace         dump the fault trace of every run\n"
       "  --demo-violation      register an always-failing invariant to\n"
@@ -66,20 +75,34 @@ void usage(const char* argv0) {
       argv0);
 }
 
-bool parse_seeds(const std::string& arg, std::uint64_t& lo,
-                 std::uint64_t& hi) {
-  auto dots = arg.find("..");
+// "N", "A..B" (inclusive range), or "a,b,c" (explicit list, run in the
+// order given — the seed corpus is curated, not contiguous).
+bool parse_seeds(const std::string& arg, std::vector<std::uint64_t>& out) {
+  out.clear();
   try {
-    if (dots == std::string::npos) {
-      lo = hi = std::stoull(arg);
-    } else {
-      lo = std::stoull(arg.substr(0, dots));
-      hi = std::stoull(arg.substr(dots + 2));
+    if (arg.find(',') != std::string::npos) {
+      std::size_t pos = 0;
+      while (pos <= arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos) comma = arg.size();
+        out.push_back(std::stoull(arg.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+      return !out.empty();
     }
+    auto dots = arg.find("..");
+    if (dots == std::string::npos) {
+      out.push_back(std::stoull(arg));
+      return true;
+    }
+    std::uint64_t lo = std::stoull(arg.substr(0, dots));
+    std::uint64_t hi = std::stoull(arg.substr(dots + 2));
+    if (lo > hi) return false;
+    for (std::uint64_t s = lo; s <= hi; ++s) out.push_back(s);
+    return true;
   } catch (...) {
     return false;
   }
-  return lo <= hi;
 }
 
 // The artificial invariant breaker: proves that a violation surfaces as a
@@ -128,6 +151,76 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed) {
   return engine.run();
 }
 
+// Everything one seed produces; computed (possibly on a worker thread)
+// separately from reporting, so --jobs N can run seeds concurrently while
+// the main thread prints outcomes strictly in seed order.
+struct SeedOutcome {
+  std::uint64_t seed{0};
+  chaos::ChaosResult result;
+  bool deterministic{true};
+  std::string second_digest;
+};
+
+SeedOutcome run_seed(const CliOptions& cli, std::uint64_t seed) {
+  SeedOutcome o;
+  o.seed = seed;
+  o.result = run_once(cli, seed);
+  if (cli.verify_determinism) {
+    chaos::ChaosResult r2 = run_once(cli, seed);
+    o.deterministic = r2.trace_hash == o.result.trace_hash;
+    o.second_digest = r2.trace_digest;
+  }
+  return o;
+}
+
+// Print one seed's outcome and return whether it failed. Runs only on the
+// main thread (it touches stdout and the trace directory).
+bool report_outcome(const CliOptions& cli, const SeedOutcome& o) {
+  const chaos::ChaosResult& r = o.result;
+  bool failed = !r.ok() || !o.deterministic;
+  if (cli.print_trace) {
+    for (const std::string& line : r.trace)
+      std::printf("    %s\n", line.c_str());
+  }
+  if (!cli.quiet || failed) {
+    std::printf("seed %llu: %s  faults=%zu emitted=%llu ingested=%llu "
+                "delivered=%llu trace=%s%s\n",
+                static_cast<unsigned long long>(o.seed),
+                failed ? "FAIL" : "ok", r.faults_injected,
+                static_cast<unsigned long long>(r.emitted),
+                static_cast<unsigned long long>(r.ingested),
+                static_cast<unsigned long long>(r.delivered),
+                r.trace_digest.c_str(),
+                cli.verify_determinism && o.deterministic
+                    ? " (deterministic)"
+                    : "");
+  }
+  if (!o.deterministic) {
+    std::printf("  NONDETERMINISM: second run trace=%s differs\n",
+                o.second_digest.c_str());
+  }
+  if (!r.quiesced)
+    std::printf("  drain did not reach quiescence within bound\n");
+  for (const chaos::Violation& v : r.violations)
+    std::printf("  %s\n", chaos::to_string(v).c_str());
+  if (failed && !cli.trace_dir.empty() && r.flight) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.trace_dir, ec);
+    std::string path =
+        cli.trace_dir + "/seed-" + std::to_string(o.seed) + ".rivtrace";
+    std::string err;
+    if (r.flight->save(path, &err)) {
+      std::printf("  flight trace (%zu records) saved: %s\n",
+                  r.flight->size(), path.c_str());
+    } else {
+      std::printf("  flight trace save failed: %s\n", err.c_str());
+    }
+  }
+  if (failed)
+    std::printf("  repro: %s\n", repro_command(cli, o.seed).c_str());
+  return failed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,7 +235,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed" || arg == "--seeds") {
-      if (!parse_seeds(next(), cli.seed_lo, cli.seed_hi)) {
+      if (!parse_seeds(next(), cli.seeds)) {
         std::fprintf(stderr, "bad seed spec\n");
         return 2;
       }
@@ -166,6 +259,8 @@ int main(int argc, char** argv) {
       cli.duration_s = std::atoll(next());
     } else if (arg == "--check-interval") {
       cli.check_interval_ms = std::atoll(next());
+    } else if (arg == "--jobs") {
+      cli.jobs = std::atoi(next());
     } else if (arg == "--no-verify") {
       cli.verify_determinism = false;
     } else if (arg == "--print-trace") {
@@ -185,68 +280,61 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cli.procs < 1 || cli.receivers < 1 || cli.duration_s < 1) {
+  if (cli.procs < 1 || cli.receivers < 1 || cli.duration_s < 1 ||
+      cli.jobs < 1) {
     std::fprintf(stderr, "bad scenario parameters\n");
     return 2;
   }
 
+  const std::vector<std::uint64_t>& seeds = cli.seeds;
+
   std::uint64_t failures = 0;
-  std::uint64_t total = 0;
-  for (std::uint64_t seed = cli.seed_lo; seed <= cli.seed_hi; ++seed) {
-    ++total;
-    chaos::ChaosResult r = run_once(cli, seed);
-
-    bool deterministic = true;
-    std::string second_digest;
-    if (cli.verify_determinism) {
-      chaos::ChaosResult r2 = run_once(cli, seed);
-      deterministic = r2.trace_hash == r.trace_hash;
-      second_digest = r2.trace_digest;
+  if (cli.jobs == 1 || seeds.size() == 1) {
+    for (std::uint64_t seed : seeds) {
+      if (report_outcome(cli, run_seed(cli, seed))) ++failures;
     }
-
-    bool failed = !r.ok() || !deterministic;
-    if (failed) ++failures;
-
-    if (cli.print_trace) {
-      for (const std::string& line : r.trace)
-        std::printf("    %s\n", line.c_str());
+  } else {
+    // Worker threads claim seeds in order; each simulation is fully
+    // self-contained (own Rng, clock, metrics, thread-local trace scope),
+    // so concurrent runs produce exactly the serial per-seed results. The
+    // main thread reports outcome i only after outcomes 0..i-1, keeping
+    // the output byte-identical to --jobs 1.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::optional<SeedOutcome>> done(seeds.size());
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const std::size_t n_workers =
+        std::min<std::size_t>(static_cast<std::size_t>(cli.jobs),
+                              seeds.size());
+    pool.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1);
+          if (i >= seeds.size()) return;
+          SeedOutcome o = run_seed(cli, seeds[i]);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            done[i] = std::move(o);
+          }
+          cv.notify_one();
+        }
+      });
     }
-    if (!cli.quiet || failed) {
-      std::printf("seed %llu: %s  faults=%zu emitted=%llu ingested=%llu "
-                  "delivered=%llu trace=%s%s\n",
-                  static_cast<unsigned long long>(seed),
-                  failed ? "FAIL" : "ok", r.faults_injected,
-                  static_cast<unsigned long long>(r.emitted),
-                  static_cast<unsigned long long>(r.ingested),
-                  static_cast<unsigned long long>(r.delivered),
-                  r.trace_digest.c_str(),
-                  cli.verify_determinism && deterministic ? " (deterministic)"
-                                                          : "");
-    }
-    if (!deterministic) {
-      std::printf("  NONDETERMINISM: second run trace=%s differs\n",
-                  second_digest.c_str());
-    }
-    if (!r.quiesced)
-      std::printf("  drain did not reach quiescence within bound\n");
-    for (const chaos::Violation& v : r.violations)
-      std::printf("  %s\n", chaos::to_string(v).c_str());
-    if (failed && !cli.trace_dir.empty() && r.flight) {
-      std::error_code ec;
-      std::filesystem::create_directories(cli.trace_dir, ec);
-      std::string path = cli.trace_dir + "/seed-" + std::to_string(seed) +
-                         ".rivtrace";
-      std::string err;
-      if (r.flight->save(path, &err)) {
-        std::printf("  flight trace (%zu records) saved: %s\n",
-                    r.flight->size(), path.c_str());
-      } else {
-        std::printf("  flight trace save failed: %s\n", err.c_str());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      SeedOutcome o;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done[i].has_value(); });
+        o = std::move(*done[i]);
+        done[i].reset();
       }
+      if (report_outcome(cli, o)) ++failures;
     }
-    if (failed)
-      std::printf("  repro: %s\n", repro_command(cli, seed).c_str());
+    for (std::thread& t : pool) t.join();
   }
+  const std::uint64_t total = seeds.size();
 
   std::printf("%llu/%llu seeds clean\n",
               static_cast<unsigned long long>(total - failures),
