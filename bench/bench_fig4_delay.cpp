@@ -10,6 +10,8 @@
 // Setup per §8.2: one IP software sensor, 10 events/s, 200 s runs,
 // averaged over 5 seeds; event sizes from Table 3 (4 B, 8 B, 1 KB, 20 KB).
 #include "bench_util.hpp"
+#include "trace/provenance.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::bench {
 namespace {
@@ -52,6 +54,29 @@ void run_placement(const char* label, int receiver_index) {
   }
 }
 
+// Where the time goes: record one Fig-4a run with the flight recorder on
+// and let the provenance analyzer attribute the end-to-end delay to
+// pipeline stages. The summed leg medians should account for the e2e
+// delay the table above reports for the same configuration.
+void run_stage_breakdown() {
+  ScenarioOptions opt;
+  opt.n_processes = 5;
+  opt.receiver_indices = {1};
+  opt.guarantee = appmodel::Guarantee::kGapless;
+  opt.seed = 105;
+  trace::Recorder rec(trace::kAllComponents &
+                      ~trace::component_bit(trace::Component::kSim));
+  {
+    trace::Scope scope(rec);
+    auto home = make_scenario(opt);
+    home->start();
+    home->run_for(seconds(60));
+  }
+  std::printf("\n--- per-stage latency attribution "
+              "(Gapless, n=5, receiver p2, 60s) ---\n");
+  std::printf("%s", trace::render(trace::analyze(rec.records())).c_str());
+}
+
 }  // namespace
 }  // namespace riv::bench
 
@@ -69,6 +94,7 @@ int main(int argc, char** argv) {
       "Figure 4b: delay when the app-bearing process receives directly",
       "~1-2 ms for small events, independent of the number of processes");
   run_placement("Fig 4b (receiver = app-bearing process p1)", 0);
+  run_stage_breakdown();
   {
     ScenarioOptions opt;
     opt.n_processes = 5;

@@ -1,7 +1,10 @@
 #include "appmodel/logic.hpp"
 
+#include <limits>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::appmodel {
 
@@ -52,6 +55,7 @@ void LogicInstance::arm_periodic(OpState& op, Stream& stream) {
 
 void LogicInstance::on_sensor_event(const devices::SensorEvent& e) {
   ++events_consumed_;
+  last_cause_ = provenance_of(e.id);
   const std::string key = sensor_key(e.id.sensor);
   for (auto& [name, op] : ops_) {
     for (Stream& stream : op.streams) {
@@ -97,6 +101,26 @@ void LogicInstance::evaluate(OpState& op) {
 
 void LogicInstance::deliver(OpState& op, std::vector<StreamWindow> ready) {
   ++triggers_fired_;
+  // The trigger's causal id: the newest real sensor reading among the
+  // windows that fired. Derived (downstream) events carry the synthetic
+  // sensor 0xffff and are skipped; a purely-derived or purely-periodic
+  // firing falls back to the last reading the instance consumed.
+  trigger_cause_ = last_cause_;
+  TimePoint newest{std::numeric_limits<std::int64_t>::min()};
+  for (const StreamWindow& w : ready) {
+    for (const devices::SensorEvent& e : w.events) {
+      if (e.id.sensor.value != 0xffff && e.emitted_at >= newest) {
+        newest = e.emitted_at;
+        trigger_cause_ = provenance_of(e.id);
+      }
+    }
+  }
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(timers_.now(), callbacks_.self, trace::Component::kRuntime,
+                trace::Kind::kLogicFire, trigger_cause_,
+                "app=" + std::to_string(graph_->id.value) +
+                    " op=" + op.spec->name);
+  }
   if (!op.spec->handler) return;
 
   TriggerContext ctx;
@@ -132,6 +156,7 @@ void LogicInstance::deliver(OpState& op, std::vector<StreamWindow> ready) {
     cmd.expected = expected;
     cmd.value = value;
     cmd.issued_at = timers_.now();
+    cmd.cause = trigger_cause_;
     ++commands_issued_;
     callbacks_.command_sink(*edge, cmd);
   };

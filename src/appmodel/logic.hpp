@@ -103,6 +103,8 @@ class LogicInstance {
   StalenessHandler staleness_handler_;
   std::uint32_t emit_seq_{1};
   bool started_{false};
+  ProvenanceId last_cause_{};     // newest reading consumed, ever
+  ProvenanceId trigger_cause_{};  // cause of the trigger currently firing
 
   std::uint64_t events_consumed_{0};
   std::uint64_t triggers_fired_{0};

@@ -100,6 +100,8 @@ ChaosResult ChaosEngine::run() {
   });
 
   // --- run ----------------------------------------------------------------
+  if (options_.metrics_period.us > 0)
+    home.enable_metric_snapshots(options_.metrics_period);
   home.start();
   checker.start(options_.check_interval);
   home.run_for(plan_opt.horizon + seconds(1));
@@ -136,6 +138,9 @@ ChaosResult ChaosEngine::run() {
                    " ingested=" + std::to_string(result.ingested) +
                    " delivered=" + std::to_string(result.delivered) +
                    " logs:" + logs);
+
+  if (options_.metrics_period.us > 0)
+    result.metrics_csv = home.metric_snapshots().to_csv();
 
   result.sim_events = home.sim().events_fired();
   result.trace = trace.lines();

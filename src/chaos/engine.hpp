@@ -44,6 +44,10 @@ struct EngineOptions {
   // artifact (tools/chaos_run --trace).
   bool flight{false};
   std::uint32_t flight_mask{riv::trace::kAllComponents};
+  // When positive, per-process + shared counter snapshots are captured
+  // every `metrics_period` of virtual time and the timeline lands in
+  // ChaosResult::metrics_csv (tools/chaos_run --metrics).
+  Duration metrics_period{};
 };
 
 struct ChaosResult {
@@ -53,6 +57,8 @@ struct ChaosResult {
   std::string trace_digest;
   // Flight-recorder trace (only when EngineOptions::flight was set).
   std::shared_ptr<riv::trace::Recorder> flight;
+  // Snapshot-timeline CSV (only when EngineOptions::metrics_period set).
+  std::string metrics_csv;
   bool quiesced{false};
   std::size_t faults_injected{0};
   std::uint64_t delivered{0};

@@ -122,9 +122,12 @@ void FaultInjector::apply(const FaultAction& action) {
   trace_->record(home_->sim().now(),
                  to_string(action) + (applied ? "" : " (noop)"));
   if (trace::active(trace::Component::kChaos)) {
+    // The leading fault id lets trace_analyze blame tail events on a
+    // specific injected fault ("fault #7 partition ...").
     trace::emit(home_->sim().now(), ProcessId{0}, trace::Component::kChaos,
                 trace::Kind::kFault,
-                to_string(action) + (applied ? "" : " (noop)"));
+                "id=" + std::to_string(injected_) + " " + to_string(action) +
+                    (applied ? "" : " (noop)"));
   }
 
   if (action.kind == FaultKind::kQuiesceEnd && on_quiesce_end_)

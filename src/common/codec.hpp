@@ -51,6 +51,10 @@ class BinaryWriter {
     process_id(c.origin);
     u32(c.seq);
   }
+  void provenance_id(ProvenanceId p) {
+    u16(p.origin);
+    u32(p.seq);
+  }
   void time_point(TimePoint t) { i64(t.us); }
   void duration(Duration d) { i64(d.us); }
 
@@ -123,6 +127,12 @@ class BinaryReader {
     c.origin = process_id();
     c.seq = u32();
     return c;
+  }
+  ProvenanceId provenance_id() {
+    ProvenanceId p;
+    p.origin = u16();
+    p.seq = u32();
+    return p;
   }
   TimePoint time_point() { return {i64()}; }
   Duration duration() { return {i64()}; }

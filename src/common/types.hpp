@@ -54,6 +54,24 @@ struct CommandId {
   constexpr auto operator<=>(const CommandId&) const = default;
 };
 
+// Compact causal id carried end-to-end with a sensor event: the origin
+// (the emitting sensor's id; 0xffff for logic-derived events) plus the
+// per-origin sequence number. For a sensor event this is its EventId
+// re-expressed, so no new number is minted anywhere — the point of the
+// type is that actuator commands and trace records can say *which
+// reading caused this* without dragging the whole event along. 6 bytes
+// on the wire. A default-constructed id means "no known cause".
+struct ProvenanceId {
+  std::uint16_t origin{0};
+  std::uint32_t seq{0};
+  constexpr bool valid() const { return origin != 0 || seq != 0; }
+  constexpr auto operator<=>(const ProvenanceId&) const = default;
+};
+
+constexpr ProvenanceId provenance_of(EventId e) {
+  return {e.sensor.value, e.seq};
+}
+
 inline std::string to_string(ProcessId p) { return "p" + std::to_string(p.value); }
 inline std::string to_string(SensorId s) { return "s" + std::to_string(s.value); }
 inline std::string to_string(ActuatorId a) { return "a" + std::to_string(a.value); }
@@ -62,6 +80,11 @@ inline std::string to_string(EventId e) {
 }
 inline std::string to_string(CommandId c) {
   return to_string(c.origin) + "!" + std::to_string(c.seq);
+}
+// Renders identically to the EventId it was derived from ("s1#17"), so
+// detail strings and analyzer joins line up textually.
+inline std::string to_string(ProvenanceId p) {
+  return "s" + std::to_string(p.origin) + "#" + std::to_string(p.seq);
 }
 
 }  // namespace riv
@@ -93,6 +116,12 @@ template <>
 struct hash<riv::CommandId> {
   size_t operator()(riv::CommandId c) const noexcept {
     return (static_cast<size_t>(c.origin.value) << 32) ^ c.seq;
+  }
+};
+template <>
+struct hash<riv::ProvenanceId> {
+  size_t operator()(riv::ProvenanceId p) const noexcept {
+    return (static_cast<size_t>(p.origin) << 32) ^ p.seq;
   }
 };
 }  // namespace std

@@ -30,7 +30,7 @@ void GapStream::on_device_event(const devices::SensorEvent& e) {
   ++ingested_;
   std::optional<ProcessId> bearer = app_bearing();
   if (bearer && *bearer == ctx_.self) {
-    deliver_dedup(e);
+    deliver_dedup(e, "device");
     return;
   }
   if (forwarder() == ctx_.self && bearer) {
@@ -50,16 +50,17 @@ void GapStream::on_forward(ProcessId from, const wire::EventPayload& p) {
   (void)from;
   // Deliver if our logic node is active; if the sender's view was stale
   // and we are a shadow, the event is simply dropped — Gap permits it.
-  deliver_dedup(p.event);
+  deliver_dedup(p.event, "forward");
 }
 
-void GapStream::deliver_dedup(const devices::SensorEvent& e) {
+void GapStream::deliver_dedup(const devices::SensorEvent& e,
+                              const char* src) {
   if (recent_.count(e.id) != 0) return;
   if (trace::active(trace::Component::kDelivery)) {
     trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
-                trace::Kind::kIngest,
+                trace::Kind::kIngest, provenance_of(e.id),
                 "app=" + std::to_string(ctx_.app.value) +
-                    " event=" + riv::to_string(e.id));
+                    " event=" + riv::to_string(e.id) + " src=" + src);
   }
   recent_.insert(e.id);
   recent_order_.push_back(e.id);

@@ -47,7 +47,7 @@ class GapStream {
   std::optional<ProcessId> app_bearing() const;
   // The alive in-range sensor node closest to the chain head.
   std::optional<ProcessId> forwarder() const;
-  void deliver_dedup(const devices::SensorEvent& e);
+  void deliver_dedup(const devices::SensorEvent& e, const char* src);
   void note_epoch(const devices::SensorEvent& e);
   void schedule_epoch(std::uint32_t epoch);
   std::uint32_t current_epoch() const;

@@ -25,16 +25,17 @@ void GaplessStream::on_device_event(const devices::SensorEvent& e) {
   if (ctx_.log->seen(e.id)) return;  // duplicate device delivery
   ++ingested_;
   const std::set<ProcessId>& view = ctx_.view();
-  accept_new_event(e, {ctx_.self}, {view.begin(), view.end()});
+  accept_new_event(e, {ctx_.self}, {view.begin(), view.end()}, "device");
 }
 
 void GaplessStream::accept_new_event(const devices::SensorEvent& e,
-                                     PidSet seen, PidSet need) {
+                                     PidSet seen, PidSet need,
+                                     const char* src) {
   if (trace::active(trace::Component::kDelivery)) {
     trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
-                trace::Kind::kIngest,
+                trace::Kind::kIngest, provenance_of(e.id),
                 "app=" + std::to_string(ctx_.app.value) +
-                    " event=" + riv::to_string(e.id) +
+                    " event=" + riv::to_string(e.id) + " src=" + src +
                     " S=" + std::to_string(seen.size()) +
                     " V=" + std::to_string(need.size()));
   }
@@ -70,7 +71,7 @@ void GaplessStream::on_ring(ProcessId from, const wire::RingPayload& p) {
     PidSet need = p.need;
     const std::set<ProcessId>& view = ctx_.view();
     need.insert(view.begin(), view.end());
-    accept_new_event(e, std::move(seen), std::move(need));
+    accept_new_event(e, std::move(seen), std::move(need), "ring");
     return;
   }
 
@@ -120,6 +121,12 @@ void GaplessStream::on_rb(ProcessId from, const wire::EventPayload& p) {
   if (!ctx_.log->seen(e.id)) {
     const std::set<ProcessId>& view = ctx_.view();
     PidSet need(view.begin(), view.end());
+    if (trace::active(trace::Component::kDelivery)) {
+      trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
+                  trace::Kind::kIngest, provenance_of(e.id),
+                  "app=" + std::to_string(ctx_.app.value) +
+                      " event=" + riv::to_string(e.id) + " src=rb");
+    }
     ctx_.log->append(e, {ctx_.self, from}, std::move(need));
     note_epoch(e);
     ctx_.deliver(e);

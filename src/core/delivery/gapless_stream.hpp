@@ -60,7 +60,7 @@ class GaplessStream {
  private:
   std::optional<ProcessId> ring_successor() const;
   void accept_new_event(const devices::SensorEvent& e, PidSet seen,
-                        PidSet need);
+                        PidSet need, const char* src);
   void forward_to_successor(const devices::SensorEvent& e,
                             const PidSet& seen, const PidSet& need);
   void initiate_reliable_broadcast(EventId id);

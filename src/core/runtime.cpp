@@ -72,6 +72,10 @@ void RivuletProcess::start() {
 void RivuletProcess::crash() {
   if (!up_) return;
   up_ = false;
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kCrash, "");
+  }
   net_->set_process_up(self_, false);
   teardown_state();
 }
@@ -80,6 +84,10 @@ void RivuletProcess::recover() {
   RIV_ASSERT(started_, "recover() before first start()");
   if (up_) return;
   up_ = true;
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kRecover, "");
+  }
   net_->set_process_up(self_, true);
   build_state();
 }
@@ -513,7 +521,7 @@ void RivuletProcess::deliver_to_logic(AppId id, AppState& app,
   ++app.delivered;
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kDeliver,
+                trace::Kind::kDeliver, provenance_of(e.id),
                 "app=" + std::to_string(id.value) +
                     " event=" + riv::to_string(e.id));
   }
@@ -635,7 +643,7 @@ void RivuletProcess::submit_command_locally(AppState& app,
   if (!app.commands_seen.insert(cmd.id).second) return;
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kCommand,
+                trace::Kind::kCommand, cmd.cause,
                 "cmd=" + riv::to_string(cmd.id) +
                     " actuator=" + riv::to_string(cmd.actuator));
   }

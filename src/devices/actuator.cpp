@@ -1,6 +1,7 @@
 #include "devices/actuator.hpp"
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::devices {
 
@@ -59,6 +60,14 @@ void Actuator::apply(const Command& cmd) {
     // A duplicate delivery that is accepted and the device is not
     // idempotent: a real-world double dispense / double brew.
     if (duplicate && !spec_.idempotent) ++unwarranted_actions_;
+  }
+  if (trace::active(trace::Component::kDevice)) {
+    trace::emit(sim_->now(), ProcessId{0}, trace::Component::kDevice,
+                trace::Kind::kActuated, cmd.cause,
+                "cmd=" + riv::to_string(cmd.id) +
+                    " actuator=" + riv::to_string(cmd.actuator) +
+                    " accepted=" + (accepted ? "1" : "0") +
+                    " dup=" + (duplicate ? "1" : "0"));
   }
   history_.push_back(Applied{cmd.id, cmd.value, sim_->now(), accepted});
 }

@@ -76,6 +76,7 @@ void encode(BinaryWriter& w, const Command& c) {
   w.f64(c.expected);
   w.f64(c.value);
   w.time_point(c.issued_at);
+  w.provenance_id(c.cause);
 }
 
 Command decode_command(BinaryReader& r) {
@@ -86,6 +87,7 @@ Command decode_command(BinaryReader& r) {
   c.expected = r.f64();
   c.value = r.f64();
   c.issued_at = r.time_point();
+  c.cause = r.provenance_id();
   return c;
 }
 

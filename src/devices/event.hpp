@@ -34,7 +34,10 @@ SensorEvent decode_event(BinaryReader& r);
 
 // An actuation command produced by a logic node for one actuator.
 // Wire layout: command id (6 B) | actuator (2 B) | flags (1 B)
-//   | expected (8 B) | value (8 B) | issued_at (8 B)  => 33 B.
+//   | expected (8 B) | value (8 B) | issued_at (8 B) | cause (6 B)
+//   => 39 B.
+// `cause` is appended at the end so the layout stays a strict extension
+// of the pre-provenance encoding (additive wire evolution).
 struct Command {
   CommandId id{};
   ActuatorId actuator{};
@@ -42,8 +45,9 @@ struct Command {
   double expected{0.0};      // T&S precondition (ignored otherwise)
   double value{0.0};
   TimePoint issued_at{};
+  ProvenanceId cause{};  // the sensor reading this command reacts to
 
-  static constexpr std::size_t kWireSize = 33;
+  static constexpr std::size_t kWireSize = 39;
 };
 
 void encode(BinaryWriter& w, const Command& c);

@@ -1,6 +1,7 @@
 #include "devices/home_bus.hpp"
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::devices {
 
@@ -148,7 +149,14 @@ void HomeBus::dispatch(ProcessId process, const SensorEvent& e) {
   auto ait = adapters_.find({process, sensor(e.id.sensor).spec().tech});
   if (ait != adapters_.end()) ait->second.count_rx_frame();
   auto it = handlers_.find(process);
-  if (it != handlers_.end() && it->second) it->second(e);
+  bool up = it != handlers_.end() && it->second;
+  if (trace::active(trace::Component::kDevice)) {
+    trace::emit(sim_->now(), process, trace::Component::kDevice,
+                trace::Kind::kAdapterRx, provenance_of(e.id),
+                "event=" + riv::to_string(e.id) +
+                    " up=" + (up ? "1" : "0"));
+  }
+  if (up) it->second(e);
 }
 
 }  // namespace riv::devices

@@ -184,7 +184,7 @@ void Sensor::emit(std::uint32_t epoch_tag, bool poll_based,
                          " poll=" + (poll_based ? "1" : "0");
     trace::emit(sim_->now(), poll_based ? poll_target : ProcessId{0},
                 trace::Component::kDevice, trace::Kind::kEmit,
-                std::move(detail));
+                provenance_of(e.id), std::move(detail));
   }
 
   if (poll_based) {

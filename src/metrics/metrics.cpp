@@ -1,5 +1,7 @@
 #include "metrics/metrics.hpp"
 
+#include <iterator>
+
 namespace riv::metrics {
 
 std::vector<TimeSeries::Point> TimeSeries::binned_last(Duration bin,
@@ -14,6 +16,16 @@ std::vector<TimeSeries::Point> TimeSeries::binned_last(Duration bin,
   return out;
 }
 
+void TimeSeries::merge_from(const TimeSeries& other) {
+  if (other.points_.empty()) return;
+  std::vector<Point> merged;
+  merged.reserve(points_.size() + other.points_.size());
+  std::merge(points_.begin(), points_.end(), other.points_.begin(),
+             other.points_.end(), std::back_inserter(merged),
+             [](const Point& a, const Point& b) { return a.t < b.t; });
+  points_ = std::move(merged);
+}
+
 std::uint64_t Registry::counter_sum(const std::string& prefix) const {
   std::uint64_t total = 0;
   for (const auto& [name, counter] : counters_) {
@@ -22,10 +34,40 @@ std::uint64_t Registry::counter_sum(const std::string& prefix) const {
   return total;
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, counter] : other.counters_)
+    counters_[name].add(counter.value());
+  for (const auto& [name, lat] : other.latencies_)
+    latencies_[name].merge(lat);
+  for (const auto& [name, ts] : other.series_)
+    series_[name].merge_from(ts);
+}
+
 void Registry::reset() {
   counters_.clear();
   latencies_.clear();
   series_.clear();
+}
+
+void SnapshotTimeline::capture(TimePoint at, ProcessId process,
+                               const Registry& reg) {
+  for (const auto& [name, counter] : reg.counters())
+    rows_.push_back(Row{at, process, name, counter.value()});
+}
+
+std::string SnapshotTimeline::to_csv() const {
+  std::string out = "time_us,process,counter,value\n";
+  for (const Row& r : rows_) {
+    out += std::to_string(r.at.us);
+    out += ',';
+    out += std::to_string(r.process.value);
+    out += ',';
+    out += r.name;
+    out += ',';
+    out += std::to_string(r.value);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace riv::metrics

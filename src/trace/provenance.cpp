@@ -1,0 +1,531 @@
+#include "trace/provenance.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+#include <utility>
+
+namespace riv::trace {
+
+namespace {
+
+// Pull "key=value" out of a canonical detail string; empty when absent.
+std::string_view detail_value(std::string_view detail,
+                              std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < detail.size()) {
+    std::size_t end = detail.find(' ', pos);
+    if (end == std::string_view::npos) end = detail.size();
+    std::string_view token = detail.substr(pos, end - pos);
+    if (token.size() > key.size() + 1 &&
+        token.substr(0, key.size()) == key && token[key.size()] == '=')
+      return token.substr(key.size() + 1);
+    pos = end + 1;
+  }
+  return {};
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') break;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+Stage stage_of(Kind k) {
+  switch (k) {
+    case Kind::kEmit: return Stage::kGenerated;
+    case Kind::kAdapterRx: return Stage::kAdapterRx;
+    case Kind::kIngest: return Stage::kIngested;
+    case Kind::kDeliver: return Stage::kDelivered;
+    case Kind::kLogicFire: return Stage::kLogicFired;
+    case Kind::kCommand: return Stage::kCommandSent;
+    case Kind::kActuated: return Stage::kActuated;
+    default: return static_cast<Stage>(-1);
+  }
+}
+
+std::string fmt_ms(std::int64_t us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(us) / 1e3);
+  return buf;
+}
+
+std::string fmt_s(std::int64_t us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs",
+                static_cast<double>(us) / 1e6);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void hist_json(std::string& out, const char* name,
+               const metrics::Histogram& h) {
+  out += '"';
+  out += name;
+  out += "\":{\"count\":" + std::to_string(h.count());
+  out += ",\"p50_us\":" + std::to_string(h.percentile(0.5).us);
+  out += ",\"p99_us\":" + std::to_string(h.percentile(0.99).us);
+  out += ",\"max_us\":" + std::to_string(h.max().us);
+  out += ",\"mean_us\":" + std::to_string(h.mean().us);
+  out += '}';
+}
+
+}  // namespace
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kGenerated: return "generated";
+    case Stage::kAdapterRx: return "adapter_rx";
+    case Stage::kIngested: return "ingested";
+    case Stage::kDelivered: return "delivered";
+    case Stage::kLogicFired: return "logic_fired";
+    case Stage::kCommandSent: return "command_sent";
+    case Stage::kActuated: return "actuated";
+  }
+  return "?";
+}
+
+std::int64_t Chain::last_activity_us() const {
+  std::int64_t last = -1;
+  for (std::int64_t t : first_us) last = std::max(last, t);
+  return last;
+}
+
+std::size_t Analysis::unexplained_orphans() const {
+  std::size_t n = 0;
+  for (const Orphan& o : orphans)
+    if (!o.explained()) ++n;
+  return n;
+}
+
+int Analysis::stages_present() const {
+  int n = 0;
+  for (std::uint64_t c : stage_chains)
+    if (c > 0) ++n;
+  return n;
+}
+
+Analysis analyze(const std::vector<Record>& records,
+                 const AnalyzeOptions& opt) {
+  Analysis a;
+  a.n_records = records.size();
+
+  std::map<ProvenanceId, Chain> chains;
+  std::map<ProvenanceId, std::int64_t> last_seen;
+
+  // Promotion epochs: failover legitimately re-delivers an event to the
+  // newly promoted logic node, so duplicate detection is scoped to one
+  // (process, app) promotion epoch.
+  std::map<std::pair<std::uint16_t, std::uint32_t>, std::uint32_t> epoch;
+  struct DeliverKey {
+    ProvenanceId id;
+    std::uint16_t process;
+    std::uint32_t app;
+    std::uint32_t epoch;
+    auto operator<=>(const DeliverKey&) const = default;
+  };
+  std::map<DeliverKey, std::uint32_t> deliver_counts;
+
+  std::set<std::uint16_t> down;  // processes crashed and not yet recovered
+
+  for (const Record& r : records) {
+    a.trace_end_us = std::max(a.trace_end_us, r.at.us);
+
+    switch (r.kind) {
+      case Kind::kPromote: {
+        std::uint32_t app = static_cast<std::uint32_t>(
+            parse_u64(detail_value(r.detail, "app")));
+        ++epoch[{r.process.value, app}];
+        break;
+      }
+      case Kind::kCrash:
+        down.insert(r.process.value);
+        break;
+      case Kind::kRecover:
+        down.erase(r.process.value);
+        break;
+      case Kind::kFault: {
+        std::string_view id = detail_value(r.detail, "id");
+        if (!id.empty()) {
+          FaultSpan f;
+          f.fault_id = static_cast<int>(parse_u64(id));
+          f.at_us = r.at.us;
+          std::size_t sp = r.detail.find(' ');
+          f.what = sp == std::string::npos ? std::string{}
+                                          : r.detail.substr(sp + 1);
+          a.faults.push_back(std::move(f));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (!r.prov.valid()) continue;
+    Stage s = stage_of(r.kind);
+    if (static_cast<int>(s) < 0) continue;
+
+    Chain& c = chains[r.prov];
+    c.id = r.prov;
+    std::size_t si = static_cast<std::size_t>(s);
+    if (c.first_us[si] < 0) c.first_us[si] = r.at.us;
+    ++c.count[si];
+    last_seen[r.prov] = std::max(last_seen[r.prov], r.at.us);
+
+    if (s == Stage::kIngested) {
+      if (std::find(c.ingest_processes.begin(), c.ingest_processes.end(),
+                    r.process) == c.ingest_processes.end())
+        c.ingest_processes.push_back(r.process);
+    }
+    if (s == Stage::kDelivered) {
+      std::uint32_t app = static_cast<std::uint32_t>(
+          parse_u64(detail_value(r.detail, "app")));
+      DeliverKey key{r.prov, r.process.value, app,
+                     epoch[{r.process.value, app}]};
+      ++deliver_counts[key];
+    }
+  }
+
+  a.n_chains = chains.size();
+
+  for (const auto& [key, n] : deliver_counts) {
+    if (n <= 1) continue;
+    Duplicate d;
+    d.id = key.id;
+    d.process = ProcessId{key.process};
+    d.app = key.app;
+    d.deliveries = n;
+    a.duplicates.push_back(d);
+  }
+
+  // Per-chain derivations: stage coverage, leg latencies, e2e, ordering,
+  // orphan classification.
+  for (const auto& [id, c] : chains) {
+    for (int i = 0; i < kStageCount; ++i)
+      if (c.first_us[static_cast<std::size_t>(i)] >= 0)
+        ++a.stage_chains[static_cast<std::size_t>(i)];
+
+    for (int i = 1; i < kStageCount; ++i) {
+      Stage cur = static_cast<Stage>(i);
+      Stage prev = static_cast<Stage>(i - 1);
+      if (c.reached(cur) && c.reached(prev))
+        a.leg[static_cast<std::size_t>(i)].record_us(c.at(cur) -
+                                                     c.at(prev));
+    }
+    if (c.reached(Stage::kGenerated) && c.reached(Stage::kDelivered))
+      a.e2e_delivery.record_us(c.at(Stage::kDelivered) -
+                               c.at(Stage::kGenerated));
+    if (c.reached(Stage::kGenerated) && c.reached(Stage::kActuated))
+      a.e2e_full.record_us(c.at(Stage::kActuated) -
+                           c.at(Stage::kGenerated));
+
+    std::int64_t prev_t = -1;
+    Stage prev_s = Stage::kGenerated;
+    for (int i = 0; i < kStageCount; ++i) {
+      Stage s = static_cast<Stage>(i);
+      if (!c.reached(s)) continue;
+      if (prev_t >= 0 && c.at(s) < prev_t) {
+        a.ordering_violations.push_back(
+            "event " + riv::to_string(id) + ": " + to_string(s) +
+            " at " + fmt_s(c.at(s)) + " before " + to_string(prev_s) +
+            " at " + fmt_s(prev_t));
+      }
+      prev_t = c.at(s);
+      prev_s = s;
+    }
+
+    if (c.reached(Stage::kIngested) && !c.reached(Stage::kDelivered)) {
+      Orphan o;
+      o.id = id;
+      auto it = last_seen.find(id);
+      o.last_activity_us = it == last_seen.end() ? c.last_activity_us()
+                                                 : it->second;
+      if (o.last_activity_us >= a.trace_end_us - opt.grace.us) {
+        o.reason = "in_flight_at_end";
+      } else {
+        bool all_down = !c.ingest_processes.empty();
+        for (ProcessId p : c.ingest_processes)
+          if (down.count(p.value) == 0) all_down = false;
+        o.reason = all_down ? "crashed_host" : "unexplained";
+      }
+      a.orphans.push_back(std::move(o));
+    }
+  }
+
+  // Tail attribution: chains whose delivery e2e reached the tail quantile,
+  // joined against faults overlapping [generated - window, last stage].
+  std::int64_t threshold =
+      a.e2e_delivery.percentile(opt.tail_quantile).us;
+  if (!a.e2e_delivery.empty()) {
+    for (const auto& [id, c] : chains) {
+      if (!c.reached(Stage::kGenerated) || !c.reached(Stage::kDelivered))
+        continue;
+      std::int64_t e2e = c.at(Stage::kDelivered) - c.at(Stage::kGenerated);
+      if (e2e < threshold) continue;
+      TailEvent t;
+      t.id = id;
+      t.e2e_us = e2e;
+      std::int64_t lo = c.at(Stage::kGenerated) - opt.fault_window.us;
+      std::int64_t hi = c.last_activity_us();
+      for (const FaultSpan& f : a.faults)
+        if (f.at_us >= lo && f.at_us <= hi) t.fault_ids.push_back(f.fault_id);
+      a.tails.push_back(std::move(t));
+    }
+    std::sort(a.tails.begin(), a.tails.end(),
+              [](const TailEvent& x, const TailEvent& y) {
+                if (x.e2e_us != y.e2e_us) return x.e2e_us > y.e2e_us;
+                return x.id < y.id;
+              });
+  }
+
+  return a;
+}
+
+std::string render(const Analysis& a) {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof(buf),
+                "trace: %zu records, %zu event chains, ends at %s\n",
+                a.n_records, a.n_chains, fmt_s(a.trace_end_us).c_str());
+  out += buf;
+
+  out += "stage coverage (chains reaching each stage):\n";
+  for (int i = 0; i < kStageCount; ++i) {
+    std::snprintf(buf, sizeof(buf), "  %-13s %8llu\n",
+                  to_string(static_cast<Stage>(i)),
+                  static_cast<unsigned long long>(
+                      a.stage_chains[static_cast<std::size_t>(i)]));
+    out += buf;
+  }
+
+  out += "per-stage latency (p50 / p99 / max):\n";
+  std::int64_t sum_medians = 0;
+  for (int i = 1; i < kStageCount; ++i) {
+    const metrics::Histogram& h = a.leg[static_cast<std::size_t>(i)];
+    if (h.empty()) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-11s -> %-13s %12s / %12s / %12s  (n=%zu)\n",
+                  to_string(static_cast<Stage>(i - 1)),
+                  to_string(static_cast<Stage>(i)),
+                  fmt_ms(h.percentile(0.5).us).c_str(),
+                  fmt_ms(h.percentile(0.99).us).c_str(),
+                  fmt_ms(h.max().us).c_str(), h.count());
+    out += buf;
+    if (i <= static_cast<int>(Stage::kDelivered))
+      sum_medians += h.percentile(0.5).us;
+  }
+
+  if (!a.e2e_delivery.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "e2e generated -> delivered: p50 %s  p99 %s  max %s  "
+                  "(n=%zu)\n",
+                  fmt_ms(a.e2e_delivery.percentile(0.5).us).c_str(),
+                  fmt_ms(a.e2e_delivery.percentile(0.99).us).c_str(),
+                  fmt_ms(a.e2e_delivery.max().us).c_str(),
+                  a.e2e_delivery.count());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  sum of leg medians on the delivery path: %s\n",
+                  fmt_ms(sum_medians).c_str());
+    out += buf;
+  }
+  if (!a.e2e_full.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "e2e generated -> actuated : p50 %s  p99 %s  max %s  "
+                  "(n=%zu)\n",
+                  fmt_ms(a.e2e_full.percentile(0.5).us).c_str(),
+                  fmt_ms(a.e2e_full.percentile(0.99).us).c_str(),
+                  fmt_ms(a.e2e_full.max().us).c_str(),
+                  a.e2e_full.count());
+    out += buf;
+  }
+
+  std::size_t in_flight = 0, crashed = 0;
+  for (const Orphan& o : a.orphans) {
+    if (o.reason == "in_flight_at_end") ++in_flight;
+    if (o.reason == "crashed_host") ++crashed;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "orphans: %zu (%zu in_flight_at_end, %zu crashed_host, "
+                "%zu unexplained)\n",
+                a.orphans.size(), in_flight, crashed,
+                a.unexplained_orphans());
+  out += buf;
+  for (const Orphan& o : a.orphans) {
+    if (o.explained()) continue;
+    out += "  UNEXPLAINED " + riv::to_string(o.id) + " last activity " +
+           fmt_s(o.last_activity_us) + "\n";
+  }
+
+  std::snprintf(buf, sizeof(buf), "duplicate deliveries: %zu\n",
+                a.duplicates.size());
+  out += buf;
+  for (const Duplicate& d : a.duplicates) {
+    std::snprintf(buf, sizeof(buf),
+                  "  DUPLICATE %s delivered %u times to p%u app %u within "
+                  "one promotion epoch\n",
+                  riv::to_string(d.id).c_str(), d.deliveries,
+                  d.process.value, d.app);
+    out += buf;
+  }
+
+  std::snprintf(buf, sizeof(buf), "faults injected: %zu\n",
+                a.faults.size());
+  out += buf;
+
+  std::size_t attributed = 0;
+  for (const TailEvent& t : a.tails)
+    if (!t.fault_ids.empty()) ++attributed;
+  std::snprintf(buf, sizeof(buf),
+                "tail events (e2e >= p99): %zu, %zu attributed to faults\n",
+                a.tails.size(), attributed);
+  out += buf;
+  std::size_t shown = 0;
+  for (const TailEvent& t : a.tails) {
+    if (shown++ >= 10) {
+      std::snprintf(buf, sizeof(buf), "  ... %zu more\n",
+                    a.tails.size() - 10);
+      out += buf;
+      break;
+    }
+    out += "  " + riv::to_string(t.id) + " e2e=" + fmt_ms(t.e2e_us) +
+           " faults=[";
+    for (std::size_t i = 0; i < t.fault_ids.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(t.fault_ids[i]);
+    }
+    out += "]\n";
+  }
+
+  if (!a.ordering_violations.empty()) {
+    std::snprintf(buf, sizeof(buf), "stage-ordering violations: %zu\n",
+                  a.ordering_violations.size());
+    out += buf;
+    for (const std::string& v : a.ordering_violations)
+      out += "  " + v + "\n";
+  }
+
+  return out;
+}
+
+std::string render_json(const Analysis& a) {
+  std::string out = "{";
+  out += "\"records\":" + std::to_string(a.n_records);
+  out += ",\"chains\":" + std::to_string(a.n_chains);
+  out += ",\"trace_end_us\":" + std::to_string(a.trace_end_us);
+  out += ",\"stages\":{";
+  for (int i = 0; i < kStageCount; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<Stage>(i));
+    out += "\":" +
+           std::to_string(a.stage_chains[static_cast<std::size_t>(i)]);
+  }
+  out += "},\"legs\":{";
+  bool first = true;
+  for (int i = 1; i < kStageCount; ++i) {
+    const metrics::Histogram& h = a.leg[static_cast<std::size_t>(i)];
+    if (h.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    std::string name = std::string(to_string(static_cast<Stage>(i - 1))) +
+                       "->" + to_string(static_cast<Stage>(i));
+    hist_json(out, name.c_str(), h);
+  }
+  out += "},";
+  hist_json(out, "e2e_delivery", a.e2e_delivery);
+  out += ',';
+  hist_json(out, "e2e_full", a.e2e_full);
+
+  out += ",\"orphans\":[";
+  for (std::size_t i = 0; i < a.orphans.size(); ++i) {
+    const Orphan& o = a.orphans[i];
+    if (i > 0) out += ',';
+    out += "{\"event\":\"" + json_escape(riv::to_string(o.id)) +
+           "\",\"last_activity_us\":" +
+           std::to_string(o.last_activity_us) + ",\"reason\":\"" +
+           json_escape(o.reason) + "\"}";
+  }
+  out += "],\"duplicates\":[";
+  for (std::size_t i = 0; i < a.duplicates.size(); ++i) {
+    const Duplicate& d = a.duplicates[i];
+    if (i > 0) out += ',';
+    out += "{\"event\":\"" + json_escape(riv::to_string(d.id)) +
+           "\",\"process\":" + std::to_string(d.process.value) +
+           ",\"app\":" + std::to_string(d.app) +
+           ",\"deliveries\":" + std::to_string(d.deliveries) + "}";
+  }
+  out += "],\"faults\":[";
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    const FaultSpan& f = a.faults[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":" + std::to_string(f.fault_id) +
+           ",\"at_us\":" + std::to_string(f.at_us) + ",\"what\":\"" +
+           json_escape(f.what) + "\"}";
+  }
+  out += "],\"tails\":[";
+  for (std::size_t i = 0; i < a.tails.size(); ++i) {
+    const TailEvent& t = a.tails[i];
+    if (i > 0) out += ',';
+    out += "{\"event\":\"" + json_escape(riv::to_string(t.id)) +
+           "\",\"e2e_us\":" + std::to_string(t.e2e_us) + ",\"faults\":[";
+    for (std::size_t j = 0; j < t.fault_ids.size(); ++j) {
+      if (j > 0) out += ',';
+      out += std::to_string(t.fault_ids[j]);
+    }
+    out += "]}";
+  }
+  out += "],\"ordering_violations\":[";
+  for (std::size_t i = 0; i < a.ordering_violations.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + json_escape(a.ordering_violations[i]) + '"';
+  }
+  out += "]}";
+  return out;
+}
+
+CheckResult check(const Analysis& a) {
+  CheckResult r;
+  for (const Orphan& o : a.orphans) {
+    if (o.explained()) continue;
+    r.problems.push_back("unexplained orphan " + riv::to_string(o.id) +
+                         " (ingested, never delivered, hosts alive)");
+  }
+  for (const Duplicate& d : a.duplicates) {
+    r.problems.push_back(
+        "duplicate delivery of " + riv::to_string(d.id) + " to p" +
+        std::to_string(d.process.value) + " app " + std::to_string(d.app) +
+        " (" + std::to_string(d.deliveries) + "x in one epoch)");
+  }
+  for (const std::string& v : a.ordering_violations)
+    r.problems.push_back("stage ordering: " + v);
+  r.ok = r.problems.empty();
+  return r;
+}
+
+}  // namespace riv::trace

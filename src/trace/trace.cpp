@@ -6,7 +6,11 @@ namespace riv::trace {
 namespace {
 
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-constexpr std::uint32_t kFormatVersion = 1;
+// v2 added the typed provenance id to every record; v1 files cannot be
+// read back (the rolling hash is recomputed from the v2 encoding on
+// load), so old traces must be regenerated, matching the one-time
+// golden re-bless documented in DESIGN.md §10.
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr char kMagic[4] = {'R', 'I', 'V', 'T'};
 
 // thread_local so each lane of a parallel seed sweep (chaos_run --jobs,
@@ -55,6 +59,11 @@ const char* to_string(Kind k) {
     case Kind::kCommand: return "command";
     case Kind::kFault: return "fault";
     case Kind::kMark: return "mark";
+    case Kind::kAdapterRx: return "adapter_rx";
+    case Kind::kLogicFire: return "logic_fire";
+    case Kind::kActuated: return "actuated";
+    case Kind::kCrash: return "crash";
+    case Kind::kRecover: return "recover";
   }
   return "unknown";
 }
@@ -66,6 +75,10 @@ std::string to_string(const Record& r) {
   out += to_string(r.component);
   out += "/";
   out += to_string(r.kind);
+  if (r.prov.valid()) {
+    out += " ev=";
+    out += riv::to_string(r.prov);
+  }
   if (!r.detail.empty()) {
     out += " ";
     out += r.detail;
@@ -78,6 +91,7 @@ void encode(BinaryWriter& w, const Record& r) {
   w.process_id(r.process);
   w.u8(static_cast<std::uint8_t>(r.component));
   w.u8(static_cast<std::uint8_t>(r.kind));
+  w.provenance_id(r.prov);
   w.str(r.detail);
 }
 
@@ -87,6 +101,7 @@ Record decode_record(BinaryReader& r) {
   out.process = r.process_id();
   out.component = static_cast<Component>(r.u8());
   out.kind = static_cast<Kind>(r.u8());
+  out.prov = r.provenance_id();
   out.detail = r.str();
   return out;
 }
@@ -200,7 +215,14 @@ void emit(TimePoint at, ProcessId process, Component component, Kind kind,
           std::string detail) {
   if (g_current == nullptr || !g_current->wants(component)) return;
   g_current->append(
-      Record{at, process, component, kind, std::move(detail)});
+      Record{at, process, component, kind, ProvenanceId{}, std::move(detail)});
+}
+
+void emit(TimePoint at, ProcessId process, Component component, Kind kind,
+          ProvenanceId prov, std::string detail) {
+  if (g_current == nullptr || !g_current->wants(component)) return;
+  g_current->append(
+      Record{at, process, component, kind, prov, std::move(detail)});
 }
 
 }  // namespace riv::trace

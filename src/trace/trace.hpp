@@ -62,6 +62,11 @@ enum class Kind : std::uint8_t {
   kCommand = 13,   // actuation command submitted to a device
   kFault = 14,     // chaos injector applied a fault action
   kMark = 15,      // free-form scenario annotation
+  kAdapterRx = 16,  // process-side adapter received a device frame
+  kLogicFire = 17,  // a logic trigger fired (windows evaluated, handler ran)
+  kActuated = 18,   // actuator applied a command
+  kCrash = 19,      // process crashed
+  kRecover = 20,    // process recovered
 };
 const char* to_string(Kind k);
 
@@ -70,6 +75,11 @@ struct Record {
   ProcessId process{};  // ProcessId{0} = no single process (global event)
   Component component{Component::kSim};
   Kind kind{Kind::kMark};
+  // Causal id of the sensor event this record is about; invalid (all
+  // zero) for records that are not scoped to one event (timers, link
+  // transitions, views, faults). Typed rather than folded into `detail`
+  // so trace_analyze can reconstruct per-event chains without parsing.
+  ProvenanceId prov{};
   // Canonical "key=value key=value" payload. Part of the determinism
   // hash and of golden traces, so emit sites must keep it stable:
   // integers and ids only, no pointers, no float formatting surprises.
@@ -157,5 +167,8 @@ bool active(Component c);
 // component is masked out.
 void emit(TimePoint at, ProcessId process, Component component, Kind kind,
           std::string detail);
+// Same, with the causal id of the sensor event the record is about.
+void emit(TimePoint at, ProcessId process, Component component, Kind kind,
+          ProvenanceId prov, std::string detail);
 
 }  // namespace riv::trace

@@ -6,7 +6,7 @@ namespace riv::workload {
 
 HomeDeployment::HomeDeployment(Options options)
     : sim_(options.seed),
-      net_(sim_, metrics_, options.wifi),
+      net_(sim_, shared_metrics_, options.wifi),
       bus_(sim_),
       config_(options.config) {
   RIV_ASSERT(options.n_processes >= 1, "need at least one process");
@@ -21,8 +21,9 @@ HomeDeployment::HomeDeployment(Options options)
     bus_.add_adapter(p, devices::Technology::kBle);
   }
   for (ProcessId p : processes_) {
+    proc_metrics_.push_back(std::make_unique<metrics::Registry>());
     procs_.push_back(std::make_unique<core::RivuletProcess>(
-        sim_, net_, bus_, p, processes_, config_, metrics_));
+        sim_, net_, bus_, p, processes_, config_, *proc_metrics_.back()));
   }
 }
 
@@ -112,6 +113,41 @@ bool HomeDeployment::drain_to_quiescence(Duration step, Duration stable_for,
 void HomeDeployment::start() {
   for (auto& proc : procs_) proc->start();
   bus_.start_all();
+}
+
+metrics::Registry& HomeDeployment::metrics() {
+  merged_.reset();
+  merged_.merge_from(shared_metrics_);
+  for (auto& reg : proc_metrics_) merged_.merge_from(*reg);
+  return merged_;
+}
+
+metrics::Registry& HomeDeployment::process_metrics(ProcessId p) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] == p) return *proc_metrics_[i];
+  }
+  RIV_ASSERT(false, "unknown process");
+  return *proc_metrics_.front();
+}
+
+void HomeDeployment::enable_metric_snapshots(Duration period) {
+  RIV_ASSERT(period.us > 0, "snapshot period must be positive");
+  if (snapshot_period_.us > 0) {
+    snapshot_period_ = period;  // already armed; just change the cadence
+    return;
+  }
+  snapshot_period_ = period;
+  schedule_snapshot();
+}
+
+void HomeDeployment::schedule_snapshot() {
+  sim_.schedule_after(snapshot_period_, [this] {
+    TimePoint now = sim_.now();
+    for (std::size_t i = 0; i < processes_.size(); ++i)
+      snapshots_.capture(now, processes_[i], *proc_metrics_[i]);
+    snapshots_.capture(now, ProcessId{0}, shared_metrics_);
+    schedule_snapshot();
+  });
 }
 
 core::RivuletProcess& HomeDeployment::process(ProcessId p) {

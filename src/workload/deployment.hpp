@@ -72,7 +72,24 @@ class HomeDeployment {
                            Duration max_wait = seconds(240));
 
   sim::Simulation& sim() { return sim_; }
-  metrics::Registry& metrics() { return metrics_; }
+
+  // Deployment-wide aggregate view: the shared registry (network,
+  // devices) folded together with every per-process registry. Rebuilt on
+  // each call — read it fresh, do not hold the reference across run_for()
+  // and expect live values, and never write through it.
+  metrics::Registry& metrics();
+  // The registry shared by cross-process infrastructure (SimNetwork).
+  metrics::Registry& shared_metrics() { return shared_metrics_; }
+  // The registry one RivuletProcess writes its own metrics into.
+  metrics::Registry& process_metrics(ProcessId p);
+
+  // Capture a SnapshotTimeline row-set (per-process + shared counters)
+  // every `period` of virtual time, starting one period from now.
+  void enable_metric_snapshots(Duration period);
+  const metrics::SnapshotTimeline& metric_snapshots() const {
+    return snapshots_;
+  }
+
   net::SimNetwork& net() { return net_; }
   devices::HomeBus& bus() { return bus_; }
   core::RivuletProcess& process(ProcessId p);
@@ -83,14 +100,22 @@ class HomeDeployment {
   core::RivuletProcess* active_logic_process(AppId app);
 
  private:
+  void schedule_snapshot();
+
   sim::Simulation sim_;
-  metrics::Registry metrics_;
+  metrics::Registry shared_metrics_;
+  metrics::Registry merged_;  // scratch for metrics(); rebuilt per call
   net::SimNetwork net_;
   devices::HomeBus bus_;
   core::Config config_;
   std::vector<ProcessId> processes_;
+  // One registry per process, declared before procs_ so each
+  // RivuletProcess can hold a reference for its whole lifetime.
+  std::vector<std::unique_ptr<metrics::Registry>> proc_metrics_;
   std::vector<std::unique_ptr<core::RivuletProcess>> procs_;
   std::vector<AppId> deployed_apps_;
+  metrics::SnapshotTimeline snapshots_;
+  Duration snapshot_period_{};
 };
 
 }  // namespace riv::workload

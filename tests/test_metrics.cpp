@@ -16,8 +16,8 @@ TEST(Counter, AddAndReset) {
   EXPECT_EQ(c.value(), 0u);
 }
 
-TEST(LatencyRecorder, MeanAndPercentiles) {
-  LatencyRecorder r;
+TEST(ExactLatencyRecorder, MeanAndPercentiles) {
+  ExactLatencyRecorder r;
   EXPECT_TRUE(r.empty());
   EXPECT_EQ(r.mean(), Duration{});
   for (int i = 1; i <= 100; ++i) r.record(milliseconds(i));
@@ -29,11 +29,113 @@ TEST(LatencyRecorder, MeanAndPercentiles) {
   EXPECT_EQ(r.max(), milliseconds(100));
 }
 
+// The histogram-backed recorder: count, mean, min and max stay exact;
+// interior percentiles carry at most the bucketing error (1/16 relative).
+TEST(LatencyRecorder, ExactStatsAndBoundedPercentileError) {
+  LatencyRecorder r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.mean(), Duration{});
+  for (int i = 1; i <= 100; ++i) r.record(milliseconds(i));
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.mean(), Duration{50500});
+  EXPECT_EQ(r.max(), milliseconds(100));
+  // Exact answers are 51ms / 1ms / 100ms; percentiles report the bucket
+  // upper bound, so allow the 6.25% bucket width.
+  EXPECT_NEAR(static_cast<double>(r.percentile(0.5).us), 51000.0,
+              51000.0 / 16.0);
+  EXPECT_NEAR(static_cast<double>(r.percentile(0.0).us), 1000.0,
+              1000.0 / 16.0);
+  EXPECT_EQ(r.percentile(1.0), milliseconds(100));  // clamped to max
+}
+
 TEST(LatencyRecorder, PercentileUnaffectedByInsertionOrder) {
   LatencyRecorder a, b;
   for (int i = 1; i <= 9; ++i) a.record(milliseconds(i));
   for (int i = 9; i >= 1; --i) b.record(milliseconds(i));
   EXPECT_EQ(a.percentile(0.5), b.percentile(0.5));
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::int64_t v = 0; v < 16; ++v) h.record_us(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), Duration{0});
+  EXPECT_EQ(h.max(), Duration{15});
+  // Below 16 µs every value has its own bucket, so percentiles are exact:
+  // the median rank of 16 samples 0..15 is the 8th smallest, value 7.
+  EXPECT_EQ(h.percentile(0.0), Duration{0});
+  EXPECT_EQ(h.percentile(1.0), Duration{15});
+  EXPECT_EQ(h.percentile(0.5).us, 7);
+}
+
+TEST(Histogram, PercentileErrorIsBoundedAcrossMagnitudes) {
+  // Compare against the exact recorder over four decades of values.
+  Histogram h;
+  ExactLatencyRecorder exact;
+  std::uint64_t x = 88172645463325252ULL;  // xorshift
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::int64_t v = static_cast<std::int64_t>(x % 10'000'000);  // < 10s
+    h.record_us(v);
+    exact.record(Duration{v});
+  }
+  EXPECT_EQ(h.count(), exact.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    double want = static_cast<double>(exact.percentile(q).us);
+    double got = static_cast<double>(h.percentile(q).us);
+    EXPECT_NEAR(got, want, want / 16.0 + 1.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, NegativeClampsAndHugeValuesOverflow) {
+  Histogram h;
+  h.record_us(-5);  // clamped to zero, still counted
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), Duration{0});
+
+  h.record_us(Histogram::kMaxTrackable + 1);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  // The overflow sample still drives exact max, and the top percentile
+  // reports it.
+  EXPECT_EQ(h.max().us, Histogram::kMaxTrackable + 1);
+  EXPECT_EQ(h.percentile(1.0).us, Histogram::kMaxTrackable + 1);
+}
+
+TEST(Histogram, MergeMatchesRecordingIntoOne) {
+  Histogram a, b, all;
+  for (int i = 1; i <= 500; ++i) {
+    std::int64_t v = i * 97;
+    a.record_us(v);
+    all.record_us(v);
+  }
+  for (int i = 1; i <= 300; ++i) {
+    std::int64_t v = i * 1031;
+    b.record_us(v);
+    all.record_us(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.mean(), all.mean());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double q : {0.25, 0.5, 0.75, 0.99})
+    EXPECT_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeIntoEmptyAndEmptyIntoFull) {
+  Histogram a, b;
+  b.record_us(123);
+  a.merge(b);  // empty <- full
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), Duration{123});
+  Histogram none;
+  a.merge(none);  // full <- empty must not disturb min/max
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), Duration{123});
+  EXPECT_EQ(a.max(), Duration{123});
 }
 
 TEST(TimeSeries, BinnedLastHoldsPriorValue) {
@@ -54,6 +156,87 @@ TEST(TimeSeries, EmptySeriesBinsToZero) {
   auto bins = s.binned_last(seconds(1), TimePoint{seconds(2).us});
   ASSERT_EQ(bins.size(), 2u);
   EXPECT_EQ(bins[0].v, 0.0);
+}
+
+TEST(TimeSeries, SampleExactlyOnBinBoundaryLandsInThatBin) {
+  TimeSeries s;
+  s.append(TimePoint{seconds(1).us}, 7);
+  s.append(TimePoint{seconds(2).us}, 8);
+  auto bins = s.binned_last(seconds(1), TimePoint{seconds(2).us});
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].v, 7);  // t=1s sample is <= the 1s bin edge
+  EXPECT_EQ(bins[1].v, 8);
+}
+
+TEST(TimeSeries, EndBeforeFirstBinYieldsNothing) {
+  TimeSeries s;
+  s.append(TimePoint{10}, 1);
+  auto bins = s.binned_last(seconds(1), TimePoint{seconds(1).us - 1});
+  EXPECT_TRUE(bins.empty());
+  EXPECT_TRUE(s.binned_last(seconds(1), TimePoint{}).empty());
+}
+
+TEST(TimeSeries, EndBeforeFirstSampleHoldsZero) {
+  TimeSeries s;
+  s.append(TimePoint{seconds(10).us}, 99);
+  auto bins = s.binned_last(seconds(1), TimePoint{seconds(3).us});
+  ASSERT_EQ(bins.size(), 3u);
+  for (const auto& b : bins) EXPECT_EQ(b.v, 0.0);
+}
+
+TEST(TimeSeries, EndNotAMultipleOfBinTruncates) {
+  TimeSeries s;
+  s.append(TimePoint{seconds(1).us}, 5);
+  auto bins =
+      s.binned_last(seconds(1), TimePoint{seconds(2).us + 500'000});
+  // Bins land at 1s and 2s; the half-open remainder gets no bin.
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[1].t.us, seconds(2).us);
+  EXPECT_EQ(bins[1].v, 5);
+}
+
+TEST(TimeSeries, MergeFromInterleavesInTimeOrder) {
+  TimeSeries a, b;
+  a.append(TimePoint{10}, 1);
+  a.append(TimePoint{30}, 3);
+  b.append(TimePoint{20}, 2);
+  a.merge_from(b);
+  ASSERT_EQ(a.points().size(), 3u);
+  EXPECT_EQ(a.points()[0].v, 1);
+  EXPECT_EQ(a.points()[1].v, 2);
+  EXPECT_EQ(a.points()[2].v, 3);
+}
+
+TEST(Registry, MergeFromAggregatesAllKinds) {
+  Registry a, b;
+  a.counter("c").add(1);
+  b.counter("c").add(2);
+  b.counter("only_b").add(7);
+  a.latency("l").record(milliseconds(1));
+  b.latency("l").record(milliseconds(3));
+  b.series("s").append(TimePoint{5}, 1.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("c"), 3u);
+  EXPECT_EQ(a.counter_value("only_b"), 7u);
+  EXPECT_EQ(a.latency("l").count(), 2u);
+  EXPECT_EQ(a.latency("l").max(), milliseconds(3));
+  EXPECT_EQ(a.series("s").points().size(), 1u);
+}
+
+TEST(SnapshotTimeline, CaptureAndCsv) {
+  Registry reg;
+  reg.counter("x").add(4);
+  SnapshotTimeline t;
+  EXPECT_TRUE(t.empty());
+  t.capture(TimePoint{seconds(1).us}, ProcessId{2}, reg);
+  reg.counter("x").add(1);
+  t.capture(TimePoint{seconds(2).us}, ProcessId{2}, reg);
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.rows()[1].value, 5u);
+  EXPECT_EQ(t.to_csv(),
+            "time_us,process,counter,value\n"
+            "1000000,2,x,4\n"
+            "2000000,2,x,5\n");
 }
 
 TEST(Registry, CountersCreatedOnFirstUse) {

@@ -17,8 +17,9 @@ namespace {
 using namespace riv::trace;
 
 Record record(std::int64_t us, std::uint16_t pid, Component c, Kind k,
-              std::string detail) {
-  return Record{TimePoint{us}, ProcessId{pid}, c, k, std::move(detail)};
+              std::string detail, ProvenanceId prov = {}) {
+  return Record{TimePoint{us}, ProcessId{pid}, c, k, prov,
+                std::move(detail)};
 }
 
 std::vector<Record> sample_records() {
@@ -29,9 +30,9 @@ std::vector<Record> sample_records() {
       record(2500, 2, Component::kNet, Kind::kRecv,
              "type=keepalive src=p1 dst=p2"),
       record(3000, 1, Component::kDelivery, Kind::kIngest,
-             "app=1 event=s1#0 S=1 V=3"),
+             "app=1 event=s1#0 S=1 V=3", ProvenanceId{1, 0}),
       record(3000, 1, Component::kRuntime, Kind::kDeliver,
-             "app=1 event=s1#0"),
+             "app=1 event=s1#0", ProvenanceId{1, 0}),
   };
 }
 
@@ -69,6 +70,9 @@ TEST(TraceRecorderTest, HashIsSensitiveToEveryField) {
   EXPECT_NE(hash_with(r, 3), ref.hash());
   r = base[3];
   r.detail += " x";
+  EXPECT_NE(hash_with(r, 3), ref.hash());
+  r = base[3];
+  r.prov = ProvenanceId{2, 7};
   EXPECT_NE(hash_with(r, 3), ref.hash());
 }
 

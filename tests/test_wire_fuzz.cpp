@@ -50,6 +50,8 @@ devices::Command random_command(Rng& rng) {
   c.expected = rng.uniform(0.0, 1.0);
   c.value = rng.uniform(0.0, 1.0);
   c.issued_at = TimePoint{static_cast<std::int64_t>(rng.next() % 100000000)};
+  c.cause = ProvenanceId{static_cast<std::uint16_t>(rng.next() % 100),
+                         static_cast<std::uint32_t>(rng.next() % 100000)};
   return c;
 }
 
@@ -180,7 +182,10 @@ TEST(WireFuzzTest, CommandPayloadRoundTripsAndRejectsTruncation) {
     EXPECT_EQ(q->command.actuator, p.command.actuator);
     EXPECT_EQ(q->command.test_and_set, p.command.test_and_set);
     EXPECT_DOUBLE_EQ(q->command.value, p.command.value);
+    EXPECT_EQ(q->command.cause, p.command.cause);
 
+    // The provenance cause rides at the end of the command encoding, so
+    // strict-prefix rejection specifically covers truncation inside it.
     if (i < 10)
       expect_all_prefixes_rejected(buf, try_decode_command_payload);
   }

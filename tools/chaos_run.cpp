@@ -48,6 +48,10 @@ struct CliOptions {
   // replayable .rivtrace artifact under this directory for each FAILING
   // seed (tools/trace_diff reads them).
   std::string trace_dir;
+  // When non-empty, capture per-process metric snapshots every virtual
+  // second and save DIR/seed-N.metrics.csv for EVERY seed (a timeline is
+  // useful even — especially — when the seed passes).
+  std::string metrics_dir;
 };
 
 void usage(const char* argv0) {
@@ -71,6 +75,8 @@ void usage(const char* argv0) {
       "                        demonstrate violation reporting + repro\n"
       "  --trace DIR           record a flight trace per seed; save\n"
       "                        DIR/seed-N.rivtrace for every failing seed\n"
+      "  --metrics DIR         snapshot per-process counters every virtual\n"
+      "                        second; save DIR/seed-N.metrics.csv per seed\n"
       "  --quiet               only print failures and the final summary\n",
       argv0);
 }
@@ -145,6 +151,7 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed) {
   opt.plan.horizon = seconds(cli.duration_s);
   opt.check_interval = milliseconds(cli.check_interval_ms);
   opt.flight = !cli.trace_dir.empty();
+  if (!cli.metrics_dir.empty()) opt.metrics_period = seconds(1);
   chaos::ChaosEngine engine(opt);
   if (cli.demo_violation)
     engine.add_invariant(std::make_unique<DemoViolation>());
@@ -216,6 +223,21 @@ bool report_outcome(const CliOptions& cli, const SeedOutcome& o) {
       std::printf("  flight trace save failed: %s\n", err.c_str());
     }
   }
+  if (!cli.metrics_dir.empty() && !r.metrics_csv.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.metrics_dir, ec);
+    std::string path = cli.metrics_dir + "/seed-" +
+                       std::to_string(o.seed) + ".metrics.csv";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(r.metrics_csv.data(), 1, r.metrics_csv.size(), f);
+      std::fclose(f);
+      if (!cli.quiet)
+        std::printf("  metrics timeline saved: %s\n", path.c_str());
+    } else {
+      std::printf("  metrics timeline save failed: %s\n", path.c_str());
+    }
+  }
   if (failed)
     std::printf("  repro: %s\n", repro_command(cli, o.seed).c_str());
   return failed;
@@ -269,6 +291,8 @@ int main(int argc, char** argv) {
       cli.demo_violation = true;
     } else if (arg == "--trace") {
       cli.trace_dir = next();
+    } else if (arg == "--metrics") {
+      cli.metrics_dir = next();
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
