@@ -13,6 +13,11 @@
 //                  protocol stack + fault injection), the ISSUE's
 //                  reference workload. Also reports allocations/event
 //                  via a counting global-new hook.
+//   traced_flight — the same chaos scenario with a full-mask flight
+//                  recorder installed: the traced hot path the golden
+//                  corpus and trace_analyze workflows actually run.
+//                  Reports events/s plus bytes/record and allocs/record
+//                  (trace overhead only: traced minus untraced allocs).
 //   steady_home  — §8.2 steady-state home (5 processes, 10 Hz sensor),
 //                  reported as wall-seconds per simulated hour.
 //   seed_sweep   — chaos seeds fanned out over bench::parallel_map
@@ -33,6 +38,7 @@
 #include "bench_util.hpp"
 #include "chaos/engine.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace.hpp"
 
 // --- counting allocator hook ---------------------------------------------
 // Global operator new override local to this binary: every heap allocation
@@ -70,6 +76,9 @@ struct Result {
   std::uint64_t events{0};
   double allocs_per_event{-1};       // < 0 = not measured
   double wall_s_per_sim_hour{-1};    // < 0 = not measured
+  std::uint64_t records{0};          // trace records (traced scenarios)
+  double bytes_per_record{-1};       // < 0 = not measured
+  double allocs_per_record{-1};      // < 0 = not measured
 };
 
 // --- timer_churn ---------------------------------------------------------
@@ -144,6 +153,60 @@ Result bench_chaos_flight() {
   return r;
 }
 
+// --- traced_flight -------------------------------------------------------
+// The chaos_flight run with a full-mask flight recorder installed — the
+// path every golden-trace test, chaos corpus seed and trace_analyze
+// workflow actually executes. allocs/record isolates the recorder's own
+// allocation cost by subtracting the untraced run's allocations (both
+// runs are deterministic, so the delta is exactly the tracing overhead).
+chaos::ChaosResult run_chaos_traced(std::uint64_t seed,
+                                    std::int64_t horizon_s) {
+  chaos::EngineOptions opt;
+  opt.scenario.seed = seed;
+  opt.scenario.guarantee = appmodel::Guarantee::kGapless;
+  opt.plan.horizon = seconds(horizon_s);
+  opt.flight = true;
+  opt.flight_mask = riv::trace::kAllComponents;
+  return chaos::ChaosEngine(opt).run();
+}
+
+Result bench_traced_flight() {
+  constexpr std::int64_t kHorizonS = 60;
+  constexpr int kIters = 3;
+  run_chaos_traced(7, 2);  // warm-up
+  std::uint64_t untraced0 = g_alloc_count.load(std::memory_order_relaxed);
+  run_chaos(7, kHorizonS);
+  std::uint64_t untraced_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - untraced0;
+  Result r;
+  double best = 0;
+  for (int it = 0; it < kIters; ++it) {
+    std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+    double t0 = now_wall();
+    chaos::ChaosResult res = run_chaos_traced(7, kHorizonS);
+    double wall = now_wall() - t0;
+    std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+    if (!res.ok())
+      std::fprintf(stderr,
+                   "warning: traced_flight run reported a violation\n");
+    r.events = res.sim_events;
+    r.wall_s += wall;
+    best = std::max(best, static_cast<double>(res.sim_events) / wall);
+    r.records = res.flight->size();
+    r.bytes_per_record =
+        static_cast<double>(res.flight->payload_bytes()) /
+        static_cast<double>(r.records);
+    double overhead =
+        allocs > untraced_allocs
+            ? static_cast<double>(allocs - untraced_allocs)
+            : 0.0;
+    r.allocs_per_record = overhead / static_cast<double>(r.records);
+  }
+  r.events_per_sec = best;
+  return r;
+}
+
 // --- steady_home ---------------------------------------------------------
 Result bench_steady_home() {
   constexpr std::int64_t kSimMinutes = 10;
@@ -199,6 +262,10 @@ void print_result(const char* name, const Result& r) {
     std::printf("   %6.2f allocs/event", r.allocs_per_event);
   if (r.wall_s_per_sim_hour >= 0)
     std::printf("   %6.2f wall-s/sim-hour", r.wall_s_per_sim_hour);
+  if (r.bytes_per_record >= 0)
+    std::printf("   %9llu records   %6.1f bytes/record   %6.3f allocs/record",
+                static_cast<unsigned long long>(r.records),
+                r.bytes_per_record, r.allocs_per_record);
   std::printf("\n");
 }
 
@@ -219,6 +286,14 @@ void append_json(std::string& out, const char* name, const Result& r,
   if (r.wall_s_per_sim_hour >= 0) {
     std::snprintf(buf, sizeof(buf), ", \"wall_s_per_sim_hour\": %.3f",
                   r.wall_s_per_sim_hour);
+    out += buf;
+  }
+  if (r.bytes_per_record >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"records\": %llu, \"bytes_per_record\": %.1f, "
+                  "\"allocs_per_record\": %.3f",
+                  static_cast<unsigned long long>(r.records),
+                  r.bytes_per_record, r.allocs_per_record);
     out += buf;
   }
   out += last ? "}\n" : "},\n";
@@ -254,7 +329,7 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace riv::bench;
   int jobs = 2;
-  std::string check_path;
+  std::vector<std::string> check_paths;  // --check is repeatable
   std::string json_path;
   riv::bench::Output out;
   for (int i = 1; i < argc; ++i) {
@@ -272,7 +347,7 @@ int main(int argc, char** argv) {
     if (arg == "--jobs") {
       jobs = std::atoi(next());
     } else if (arg == "--check") {
-      check_path = next();
+      check_paths.push_back(next());
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--out") {
@@ -289,6 +364,8 @@ int main(int argc, char** argv) {
   print_result("timer_churn", timer_churn);
   Result chaos_flight = bench_chaos_flight();
   print_result("chaos_flight", chaos_flight);
+  Result traced_flight = bench_traced_flight();
+  print_result("traced_flight", traced_flight);
   Result steady_home = bench_steady_home();
   print_result("steady_home", steady_home);
   bool hashes_match = true;
@@ -300,6 +377,7 @@ int main(int argc, char** argv) {
   std::string json = "{\n  \"bench\": \"kernel\",\n  \"scenarios\": {\n";
   append_json(json, "timer_churn", timer_churn, false);
   append_json(json, "chaos_flight", chaos_flight, false);
+  append_json(json, "traced_flight", traced_flight, false);
   append_json(json, "steady_home", steady_home, false);
   append_json(json, "seed_sweep", seed_sweep, true);
   json += "  }\n}\n";
@@ -325,11 +403,18 @@ int main(int argc, char** argv) {
   }
 
   int failures = hashes_match ? 0 : 1;
-  if (!check_path.empty()) {
-    std::string baseline = read_file(check_path);
-    if (baseline.empty()) {
-      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
-      return 1;
+  if (!check_paths.empty()) {
+    // Concatenate all baseline files: the scenario lookup searches the
+    // whole blob, so baselines may be split across files (BENCH_kernel.json
+    // for the kernel scenarios, BENCH_trace.json for traced_flight).
+    std::string baseline;
+    for (const std::string& p : check_paths) {
+      std::string one = read_file(p);
+      if (one.empty()) {
+        std::fprintf(stderr, "cannot read baseline %s\n", p.c_str());
+        return 1;
+      }
+      baseline += one;
     }
     struct {
       const char* name;
@@ -337,6 +422,7 @@ int main(int argc, char** argv) {
     } checks[] = {
         {"timer_churn", timer_churn.events_per_sec},
         {"chaos_flight", chaos_flight.events_per_sec},
+        {"traced_flight", traced_flight.events_per_sec},
         {"steady_home", steady_home.events_per_sec},
     };
     for (const auto& c : checks) {

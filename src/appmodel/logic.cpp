@@ -118,8 +118,8 @@ void LogicInstance::deliver(OpState& op, std::vector<StreamWindow> ready) {
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(timers_.now(), callbacks_.self, trace::Component::kRuntime,
                 trace::Kind::kLogicFire, trigger_cause_,
-                "app=" + std::to_string(graph_->id.value) +
-                    " op=" + op.spec->name);
+                trace::fu(trace::Key::kApp, graph_->id.value),
+                trace::fs(trace::Key::kOp, op.spec->name));
   }
   if (!op.spec->handler) return;
 

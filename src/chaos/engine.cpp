@@ -32,9 +32,24 @@ ChaosResult ChaosEngine::run() {
   if (options_.flight) {
     flight =
         std::make_shared<riv::trace::Recorder>(options_.flight_mask);
+    if (options_.flight_ring_bytes > 0)
+      flight->set_ring_limit(options_.flight_ring_bytes);
+    if (!options_.flight_stream_path.empty()) {
+      std::string err;
+      RIV_ASSERT(flight->stream_to(options_.flight_stream_path, &err),
+                 ("flight stream: " + err).c_str());
+    }
     flight_scope.emplace(*flight);
   }
 
+  ChaosResult result;
+  TraceRecorder trace;
+
+  // Inner scope: the deployment (and the checker/injector that reference
+  // it) must tear down *before* a streaming flight sink is finished, so
+  // the shutdown records their destructors emit reach the file and the
+  // streamed trace stays byte-identical to an in-memory save.
+  {
   // --- the standard home -------------------------------------------------
   workload::HomeDeployment::Options home_opt;
   home_opt.seed = sc.seed;
@@ -77,7 +92,6 @@ ChaosResult ChaosEngine::run() {
   FaultPlan plan = generate_plan(sc.seed, plan_opt);
 
   // --- checker + injector -------------------------------------------------
-  TraceRecorder trace;
   trace.record("chaos seed=" + std::to_string(sc.seed) +
                " guarantee=" + appmodel::to_string(sc.guarantee) +
                " procs=" + std::to_string(sc.n_processes) +
@@ -106,7 +120,6 @@ ChaosResult ChaosEngine::run() {
   checker.start(options_.check_interval);
   home.run_for(plan_opt.horizon + seconds(1));
 
-  ChaosResult result;
   result.quiesced = home.drain_to_quiescence();
   if (!result.quiesced)
     trace.record(home.sim().now(), "drain did NOT quiesce");
@@ -143,9 +156,15 @@ ChaosResult ChaosEngine::run() {
     result.metrics_csv = home.metric_snapshots().to_csv();
 
   result.sim_events = home.sim().events_fired();
+  }  // deployment teardown — shutdown records land in the flight trace
+
   result.trace = trace.lines();
   result.trace_hash = trace.hash();
   result.trace_digest = trace.digest();
+  if (flight != nullptr && flight->streaming()) {
+    std::string err;
+    RIV_ASSERT(flight->finish(&err), ("flight stream: " + err).c_str());
+  }
   result.flight = std::move(flight);
   return result;
 }

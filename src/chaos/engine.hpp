@@ -44,6 +44,14 @@ struct EngineOptions {
   // artifact (tools/chaos_run --trace).
   bool flight{false};
   std::uint32_t flight_mask{riv::trace::kAllComponents};
+  // Ring sink: keep only the most recent ~N bytes of packed flight
+  // records (chaos_run --trace-ring). 0 = unbounded in-memory arena.
+  std::size_t flight_ring_bytes{0};
+  // Streaming sink: when non-empty, packed chunks are flushed to this
+  // file as they fill (bounded memory); the engine finalises the footer
+  // at the end of the run. ChaosResult::flight then holds only the
+  // recorder's rolling hash, not the records themselves.
+  std::string flight_stream_path;
   // When positive, per-process + shared counter snapshots are captured
   // every `metrics_period` of virtual time and the timeline lands in
   // ChaosResult::metrics_csv (tools/chaos_run --metrics).

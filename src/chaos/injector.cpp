@@ -119,15 +119,15 @@ void FaultInjector::apply(const FaultAction& action) {
   }
 
   ++injected_;
-  trace_->record(home_->sim().now(),
-                 to_string(action) + (applied ? "" : " (noop)"));
+  std::string what = to_string(action);
+  if (!applied) what += " (noop)";
+  trace_->record(home_->sim().now(), what);
   if (trace::active(trace::Component::kChaos)) {
     // The leading fault id lets trace_analyze blame tail events on a
     // specific injected fault ("fault #7 partition ...").
     trace::emit(home_->sim().now(), ProcessId{0}, trace::Component::kChaos,
-                trace::Kind::kFault,
-                "id=" + std::to_string(injected_) + " " + to_string(action) +
-                    (applied ? "" : " (noop)"));
+                trace::Kind::kFault, trace::fu(trace::Key::kFaultId, injected_),
+                trace::fs(trace::Key::kText, what));
   }
 
   if (action.kind == FaultKind::kQuiesceEnd && on_quiesce_end_)

@@ -1,5 +1,7 @@
 #include "chaos/trace.hpp"
 
+#include "common/hash.hpp"
+
 namespace riv::chaos {
 
 void TraceRecorder::record(TimePoint at, const std::string& line) {
@@ -11,27 +13,14 @@ void TraceRecorder::record(const std::string& line) {
 }
 
 std::uint64_t TraceRecorder::hash() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
-  auto mix = [&h](char c) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;  // FNV prime
-  };
+  std::uint64_t h = hash::kFnvOffsetBasis;
   for (const std::string& line : lines_) {
-    for (char c : line) mix(c);
-    mix('\n');
+    h = hash::fnv1a(h, line.data(), line.size());
+    h = hash::fnv1a_byte(h, '\n');
   }
   return h;
 }
 
-std::string TraceRecorder::digest() const {
-  static const char* hex = "0123456789abcdef";
-  std::uint64_t h = hash();
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
-    h >>= 4;
-  }
-  return out;
-}
+std::string TraceRecorder::digest() const { return hash::fnv1a_digest(hash()); }
 
 }  // namespace riv::chaos

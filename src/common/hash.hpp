@@ -1,0 +1,96 @@
+// FNV-1a, the repo's one hash for determinism fingerprints.
+//
+// Both trace layers (the flight recorder's rolling record-stream hash and
+// the chaos engine's fault-trace hash) fingerprint a run with FNV-1a; the
+// constants and the byte-at-a-time update live here so the two can never
+// drift apart. FNV-1a is not cryptographic — it is chosen because it is
+// trivially incremental (one xor + one multiply per byte, so a hash can
+// be rolled forward as bytes are appended) and stable across platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace riv::hash {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Roll one byte into a running FNV-1a state.
+inline constexpr std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+// Roll a buffer into a running state (pass kFnvOffsetBasis to start).
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) h = fnv1a_byte(h, p[i]);
+  return h;
+}
+
+// One-shot convenience over a whole buffer.
+inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+  return fnv1a(kFnvOffsetBasis, data, n);
+}
+
+// A 64-bit state rendered as fixed-width lowercase hex — the one-line
+// digest format printed by chaos_run and the trace tools.
+inline std::string fnv1a_digest(std::uint64_t h) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+// Incremental FNV-1a over 8-byte little-endian lanes: one xor+multiply
+// per word instead of per byte, for rolling hashes on hot paths (the
+// flight recorder fingerprints every packed trace byte with this). Bytes
+// are buffered until a full word is available; value() folds the pending
+// tail and the total stream length, so the state is a pure function of
+// the byte sequence and can be read at any point. ~8x fewer multiplies
+// than byte-wise FNV-1a, same stability guarantees (not cryptographic).
+class Fnv1aStream {
+ public:
+  void put(std::uint8_t b) {
+    pend_ |= static_cast<std::uint64_t>(b) << (8 * npend_);
+    if (++npend_ == 8) {
+      h_ = (h_ ^ pend_) * kFnvPrime;
+      pend_ = 0;
+      npend_ = 0;
+    }
+    ++len_;
+  }
+  void put(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t i = 0;
+    // Drain the pending partial word first, then mix whole words.
+    while (npend_ != 0 && i < n) put(p[i++]);
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w = 0;
+      for (int b = 0; b < 8; ++b)
+        w |= static_cast<std::uint64_t>(p[i + static_cast<std::size_t>(b)])
+             << (8 * b);
+      h_ = (h_ ^ w) * kFnvPrime;
+      len_ += 8;
+    }
+    while (i < n) put(p[i++]);
+  }
+  std::uint64_t value() const {
+    std::uint64_t h = h_;
+    if (npend_ != 0) h = (h ^ pend_) * kFnvPrime;
+    return (h ^ len_) * kFnvPrime;
+  }
+
+ private:
+  std::uint64_t h_{kFnvOffsetBasis};
+  std::uint64_t pend_{0};
+  unsigned npend_{0};
+  std::uint64_t len_{0};
+};
+
+}  // namespace riv::hash

@@ -59,8 +59,9 @@ void GapStream::deliver_dedup(const devices::SensorEvent& e,
   if (trace::active(trace::Component::kDelivery)) {
     trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
                 trace::Kind::kIngest, provenance_of(e.id),
-                "app=" + std::to_string(ctx_.app.value) +
-                    " event=" + riv::to_string(e.id) + " src=" + src);
+                trace::fu(trace::Key::kApp, ctx_.app.value),
+                trace::fe(trace::Key::kEvent, e.id),
+                trace::fs(trace::Key::kSrcName, src));
   }
   recent_.insert(e.id);
   recent_order_.push_back(e.id);
@@ -98,8 +99,8 @@ void GapStream::schedule_epoch(std::uint32_t epoch) {
     if (trace::active(trace::Component::kDelivery)) {
       trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
                   trace::Kind::kEpoch,
-                  "app=" + std::to_string(ctx_.app.value) +
-                      " epoch=" + std::to_string(epoch));
+                  trace::fu(trace::Key::kApp, ctx_.app.value),
+                  trace::fu(trace::Key::kEpoch, epoch));
     }
     if (forwarder() == ctx_.self) {
       ++polls_issued_;

@@ -34,10 +34,11 @@ void GaplessStream::accept_new_event(const devices::SensorEvent& e,
   if (trace::active(trace::Component::kDelivery)) {
     trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
                 trace::Kind::kIngest, provenance_of(e.id),
-                "app=" + std::to_string(ctx_.app.value) +
-                    " event=" + riv::to_string(e.id) + " src=" + src +
-                    " S=" + std::to_string(seen.size()) +
-                    " V=" + std::to_string(need.size()));
+                trace::fu(trace::Key::kApp, ctx_.app.value),
+                trace::fe(trace::Key::kEvent, e.id),
+                trace::fs(trace::Key::kSrcName, src),
+                trace::fu(trace::Key::kSeen, seen.size()),
+                trace::fu(trace::Key::kNeed, need.size()));
   }
   ctx_.log->append(e, seen, need);
   note_epoch(e);
@@ -97,8 +98,8 @@ void GaplessStream::initiate_reliable_broadcast(EventId id) {
   if (trace::active(trace::Component::kDelivery)) {
     trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
                 trace::Kind::kFallback,
-                "app=" + std::to_string(ctx_.app.value) +
-                    " event=" + riv::to_string(id));
+                trace::fu(trace::Key::kApp, ctx_.app.value),
+                trace::fe(trace::Key::kEvent, id));
   }
 
   PidSet targets = stored->need;
@@ -124,8 +125,9 @@ void GaplessStream::on_rb(ProcessId from, const wire::EventPayload& p) {
     if (trace::active(trace::Component::kDelivery)) {
       trace::emit(ctx_.timers->now(), ctx_.self, trace::Component::kDelivery,
                   trace::Kind::kIngest, provenance_of(e.id),
-                  "app=" + std::to_string(ctx_.app.value) +
-                      " event=" + riv::to_string(e.id) + " src=rb");
+                  trace::fu(trace::Key::kApp, ctx_.app.value),
+                  trace::fe(trace::Key::kEvent, e.id),
+                  trace::fs(trace::Key::kSrcName, "rb"));
     }
     ctx_.log->append(e, {ctx_.self, from}, std::move(need));
     note_epoch(e);
@@ -207,8 +209,8 @@ void GaplessStream::schedule_epoch(std::uint32_t epoch) {
     if (trace::active(trace::Component::kDelivery)) {
       trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
                   trace::Kind::kEpoch,
-                  "app=" + std::to_string(ctx_.app.value) +
-                      " epoch=" + std::to_string(epoch));
+                  trace::fu(trace::Key::kApp, ctx_.app.value),
+                  trace::fu(trace::Key::kEpoch, epoch));
     }
     if (ctx_.in_range) {
       std::vector<ProcessId> pollers;

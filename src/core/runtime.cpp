@@ -74,7 +74,7 @@ void RivuletProcess::crash() {
   up_ = false;
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kCrash, "");
+                trace::Kind::kCrash);
   }
   net_->set_process_up(self_, false);
   teardown_state();
@@ -86,7 +86,7 @@ void RivuletProcess::recover() {
   up_ = true;
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kRecover, "");
+                trace::Kind::kRecover);
   }
   net_->set_process_up(self_, true);
   build_state();
@@ -436,7 +436,7 @@ void RivuletProcess::promote(AppId id, AppState& app) {
                                     << app.graph->name);
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kPromote, "app=" + std::to_string(id.value));
+                trace::Kind::kPromote, trace::fu(trace::Key::kApp, id.value));
   }
   appmodel::LogicInstance::Callbacks cb;
   cb.self = self_;
@@ -469,7 +469,7 @@ void RivuletProcess::demote(AppId id, AppState& app) {
                                     << app.graph->name);
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kDemote, "app=" + std::to_string(id.value));
+                trace::Kind::kDemote, trace::fu(trace::Key::kApp, id.value));
   }
   app.logic.reset();
   metrics_->counter(metric_prefix(id) + ".demotions").add(1);
@@ -522,8 +522,8 @@ void RivuletProcess::deliver_to_logic(AppId id, AppState& app,
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
                 trace::Kind::kDeliver, provenance_of(e.id),
-                "app=" + std::to_string(id.value) +
-                    " event=" + riv::to_string(e.id));
+                trace::fu(trace::Key::kApp, id.value),
+                trace::fe(trace::Key::kEvent, e.id));
   }
   if (!app.instance_delivered.insert(e.id).second) {
     if (app.m_dup_instance == nullptr)
@@ -644,8 +644,8 @@ void RivuletProcess::submit_command_locally(AppState& app,
   if (trace::active(trace::Component::kRuntime)) {
     trace::emit(sim_->now(), self_, trace::Component::kRuntime,
                 trace::Kind::kCommand, cmd.cause,
-                "cmd=" + riv::to_string(cmd.id) +
-                    " actuator=" + riv::to_string(cmd.actuator));
+                trace::fc(trace::Key::kCmd, cmd.id),
+                trace::fa(trace::Key::kActuator, cmd.actuator));
   }
   bus_->actuate(self_, cmd);
 }

@@ -64,10 +64,10 @@ void Actuator::apply(const Command& cmd) {
   if (trace::active(trace::Component::kDevice)) {
     trace::emit(sim_->now(), ProcessId{0}, trace::Component::kDevice,
                 trace::Kind::kActuated, cmd.cause,
-                "cmd=" + riv::to_string(cmd.id) +
-                    " actuator=" + riv::to_string(cmd.actuator) +
-                    " accepted=" + (accepted ? "1" : "0") +
-                    " dup=" + (duplicate ? "1" : "0"));
+                trace::fc(trace::Key::kCmd, cmd.id),
+                trace::fa(trace::Key::kActuator, cmd.actuator),
+                trace::fu(trace::Key::kAccepted, accepted ? 1 : 0),
+                trace::fu(trace::Key::kDup, duplicate ? 1 : 0));
   }
   history_.push_back(Applied{cmd.id, cmd.value, sim_->now(), accepted});
 }

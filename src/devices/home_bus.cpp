@@ -153,8 +153,8 @@ void HomeBus::dispatch(ProcessId process, const SensorEvent& e) {
   if (trace::active(trace::Component::kDevice)) {
     trace::emit(sim_->now(), process, trace::Component::kDevice,
                 trace::Kind::kAdapterRx, provenance_of(e.id),
-                "event=" + riv::to_string(e.id) +
-                    " up=" + (up ? "1" : "0"));
+                trace::fe(trace::Key::kEvent, e.id),
+                trace::fu(trace::Key::kUp, up ? 1 : 0));
   }
   if (up) it->second(e);
 }

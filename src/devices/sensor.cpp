@@ -179,12 +179,11 @@ void Sensor::emit(std::uint32_t epoch_tag, bool poll_based,
   e.payload_size = spec_.payload_size;
   ++events_emitted_;
   if (trace::active(trace::Component::kDevice)) {
-    std::string detail = "event=" + riv::to_string(e.id) +
-                         " epoch=" + std::to_string(e.epoch) +
-                         " poll=" + (poll_based ? "1" : "0");
     trace::emit(sim_->now(), poll_based ? poll_target : ProcessId{0},
                 trace::Component::kDevice, trace::Kind::kEmit,
-                provenance_of(e.id), std::move(detail));
+                provenance_of(e.id), trace::fe(trace::Key::kEvent, e.id),
+                trace::fu(trace::Key::kEpoch, e.epoch),
+                trace::fu(trace::Key::kPoll, poll_based ? 1 : 0));
   }
 
   if (poll_based) {

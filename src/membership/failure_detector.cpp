@@ -80,15 +80,10 @@ void FailureDetector::recompute_view() {
     RIV_DEBUG("membership", riv::to_string(self_) << " view size "
                                                   << view_.size());
     if (trace::active(trace::Component::kMembership)) {
-      std::string detail = "view=";
-      bool first = true;
-      for (ProcessId p : view_) {
-        if (!first) detail += "+";
-        detail += riv::to_string(p);
-        first = false;
-      }
+      // view_flat_ is sorted, so packing it matches the set's rendering.
       trace::emit(now, self_, trace::Component::kMembership,
-                  trace::Kind::kView, std::move(detail));
+                  trace::Kind::kView,
+                  trace::fv(trace::Key::kView, view_flat_));
     }
     if (on_view_change_) on_view_change_(view_);
   }

@@ -9,25 +9,24 @@
 namespace riv::net {
 namespace {
 
-// "type=<msg type> src=pN dst=pM" — the canonical frame detail shared by
-// send/recv/drop records.
-std::string frame_detail(const Message& msg) {
-  std::string out = "type=";
-  out += to_string(msg.type);
-  out += " src=" + riv::to_string(msg.src);
-  out += " dst=" + riv::to_string(msg.dst);
-  return out;
-}
-
+// "type=<msg type> src=pN dst=pM [reason=R]" — the canonical frame fields
+// shared by send/recv/drop records, packed with no string building.
 void trace_frame(const sim::Simulation& sim, trace::Kind kind,
                  const Message& msg, const char* reason = nullptr) {
   if (!trace::active(trace::Component::kNet)) return;
-  std::string detail = frame_detail(msg);
-  if (reason != nullptr) detail += std::string(" reason=") + reason;
+  using trace::Key;
   // Attribute sends to the source, receptions/drops to the destination.
   ProcessId owner = kind == trace::Kind::kSend ? msg.src : msg.dst;
-  trace::emit(sim.now(), owner, trace::Component::kNet, kind,
-              std::move(detail));
+  if (reason != nullptr) {
+    trace::emit(sim.now(), owner, trace::Component::kNet, kind,
+                trace::fs(Key::kType, to_string(msg.type)),
+                trace::fp(Key::kSrc, msg.src), trace::fp(Key::kDst, msg.dst),
+                trace::fs(Key::kReason, reason));
+  } else {
+    trace::emit(sim.now(), owner, trace::Component::kNet, kind,
+                trace::fs(Key::kType, to_string(msg.type)),
+                trace::fp(Key::kSrc, msg.src), trace::fp(Key::kDst, msg.dst));
+  }
 }
 
 }  // namespace
@@ -113,7 +112,8 @@ void SimNetwork::set_process_up(ProcessId p, bool up) {
   proc.up_set = true;
   if (trace::active(trace::Component::kNet)) {
     trace::emit(sim_->now(), p, trace::Component::kNet, trace::Kind::kLink,
-                std::string("process up=") + (up ? "1" : "0"));
+                trace::fs(trace::Key::kText, "process"),
+                trace::fu(trace::Key::kUp, up ? 1 : 0));
   }
 }
 
@@ -142,16 +142,16 @@ void SimNetwork::set_partition(const std::vector<std::set<ProcessId>>& groups) {
       }
       detail += "]";
     }
-    trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-                trace::Kind::kLink, std::move(detail));
+    trace::emit_text(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                     trace::Kind::kLink, detail);
   }
 }
 
 void SimNetwork::heal_partition() {
   for (Proc& proc : procs_) proc.group = 0;
   partitioned_ = false;
-  trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-              trace::Kind::kLink, "heal_partition");
+  trace::emit_text(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                   trace::Kind::kLink, "heal_partition");
 }
 
 bool SimNetwork::connected(ProcessId a, ProcessId b) const {
@@ -173,17 +173,17 @@ void SimNetwork::set_reachable(ProcessId src, ProcessId dst, bool up) {
   edge_down_[edge(s, d)] = up ? 0 : 1;
   if (trace::active(trace::Component::kNet)) {
     trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-                trace::Kind::kLink,
-                std::string("reachable src=") + riv::to_string(src) +
-                    " dst=" + riv::to_string(dst) +
-                    " up=" + (up ? "1" : "0"));
+                trace::Kind::kLink, trace::fs(trace::Key::kText, "reachable"),
+                trace::fp(trace::Key::kSrc, src),
+                trace::fp(trace::Key::kDst, dst),
+                trace::fu(trace::Key::kUp, up ? 1 : 0));
   }
 }
 
 void SimNetwork::clear_reachable_overrides() {
   std::fill(edge_down_.begin(), edge_down_.end(), std::uint8_t{0});
-  trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-              trace::Kind::kLink, "clear_reachable_overrides");
+  trace::emit_text(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                   trace::Kind::kLink, "clear_reachable_overrides");
 }
 
 bool SimNetwork::reachable(ProcessId src, ProcessId dst) const {
@@ -202,10 +202,10 @@ void SimNetwork::set_edge_delay(ProcessId src, ProcessId dst,
   edge_delay_us_[edge(s, d)] = extra.us <= 0 ? 0 : extra.us;
   if (trace::active(trace::Component::kNet)) {
     trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-                trace::Kind::kLink,
-                std::string("edge_delay src=") + riv::to_string(src) +
-                    " dst=" + riv::to_string(dst) +
-                    " extra_us=" + std::to_string(extra.us));
+                trace::Kind::kLink, trace::fs(trace::Key::kText, "edge_delay"),
+                trace::fp(trace::Key::kSrc, src),
+                trace::fp(trace::Key::kDst, dst),
+                trace::fi(trace::Key::kExtraUs, extra.us));
   }
 }
 
@@ -219,18 +219,18 @@ void SimNetwork::set_edge_loss(ProcessId src, ProcessId dst,
     // depends on float formatting.
     auto permille = static_cast<std::int64_t>(loss_prob * 1000.0 + 0.5);
     trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-                trace::Kind::kLink,
-                std::string("edge_loss src=") + riv::to_string(src) +
-                    " dst=" + riv::to_string(dst) +
-                    " permille=" + std::to_string(permille));
+                trace::Kind::kLink, trace::fs(trace::Key::kText, "edge_loss"),
+                trace::fp(trace::Key::kSrc, src),
+                trace::fp(trace::Key::kDst, dst),
+                trace::fi(trace::Key::kPermille, permille));
   }
 }
 
 void SimNetwork::clear_edge_overrides() {
   std::fill(edge_delay_us_.begin(), edge_delay_us_.end(), std::int64_t{0});
   std::fill(edge_loss_.begin(), edge_loss_.end(), 0.0);
-  trace::emit(sim_->now(), ProcessId{0}, trace::Component::kNet,
-              trace::Kind::kLink, "clear_edge_overrides");
+  trace::emit_text(sim_->now(), ProcessId{0}, trace::Component::kNet,
+                   trace::Kind::kLink, "clear_edge_overrides");
 }
 
 Duration SimNetwork::frame_delay(std::size_t bytes) {

@@ -307,7 +307,7 @@ bool Simulation::fire_next(std::int64_t cap) {
       free_node(idx);
       if (trace::active(trace::Component::kSim)) {
         trace::emit(now_, ProcessId{0}, trace::Component::kSim,
-                    trace::Kind::kTimerFire, "timer=" + std::to_string(id));
+                    trace::Kind::kTimerFire, trace::fu(trace::Key::kTimer, id));
       }
       cb();
       return true;

@@ -1,13 +1,67 @@
-// Unit tests for the common substrate: wire codec, RNG, time arithmetic.
+// Unit tests for the common substrate: wire codec, RNG, time arithmetic,
+// and the shared FNV-1a hash.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/codec.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/types.hpp"
 
 namespace riv {
 namespace {
+
+// The FNV-1a constants and reference digests are part of every trace
+// fingerprint on disk; pin them so the shared implementation
+// (common/hash.hpp) can never silently drift.
+TEST(Fnv1a, ConstantsAndKnownDigestsArePinned) {
+  EXPECT_EQ(hash::kFnvOffsetBasis, 0xcbf29ce484222325ULL);
+  EXPECT_EQ(hash::kFnvPrime, 0x100000001b3ULL);
+  // Empty input hashes to the offset basis.
+  EXPECT_EQ(hash::fnv1a(nullptr, 0), hash::kFnvOffsetBasis);
+  // Reference vector for 64-bit FNV-1a.
+  EXPECT_EQ(hash::fnv1a("hello", 5), 0xa430d84680aabd0bULL);
+  EXPECT_EQ(hash::fnv1a_digest(0xa430d84680aabd0bULL),
+            "a430d84680aabd0b");
+  EXPECT_EQ(hash::fnv1a_digest(0), "0000000000000000");
+  // Incremental == one-shot.
+  std::uint64_t h = hash::kFnvOffsetBasis;
+  h = hash::fnv1a(h, "he", 2);
+  h = hash::fnv1a_byte(h, 'l');
+  h = hash::fnv1a(h, "lo", 2);
+  EXPECT_EQ(h, hash::fnv1a("hello", 5));
+}
+
+// Fnv1aStream (the recorder's word-wise rolling hash) must be a pure
+// function of the byte sequence: any split of the same bytes produces
+// the same value, and different sequences produce different values.
+TEST(Fnv1a, StreamIsSplitInvariantAndOrderSensitive) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  const std::size_t n = std::strlen(data);
+  hash::Fnv1aStream whole;
+  whole.put(data, n);
+  for (std::size_t cut = 0; cut <= n; ++cut) {
+    hash::Fnv1aStream split;
+    split.put(data, cut);
+    for (std::size_t i = cut; i < n; ++i)
+      split.put(static_cast<std::uint8_t>(data[i]));
+    EXPECT_EQ(split.value(), whole.value()) << "cut at " << cut;
+  }
+  hash::Fnv1aStream other;
+  other.put(data, n - 1);
+  EXPECT_NE(other.value(), whole.value());  // length-sensitive
+  hash::Fnv1aStream swapped;
+  swapped.put("eht", 3);
+  swapped.put(data + 3, n - 3);
+  EXPECT_NE(swapped.value(), whole.value());  // order-sensitive
+  // Empty and single-byte streams are distinct and stable.
+  hash::Fnv1aStream empty;
+  hash::Fnv1aStream one;
+  one.put(std::uint8_t{0});
+  EXPECT_NE(empty.value(), one.value());
+}
 
 TEST(Time, ArithmeticAndConversions) {
   EXPECT_EQ(seconds(2).us, 2'000'000);

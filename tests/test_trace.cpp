@@ -144,7 +144,8 @@ TEST(TraceRecorderTest, SaveLoadRoundTripsThroughDisk) {
 TEST(TraceScopeTest, EmitIsANoOpWithoutARecorder) {
   ASSERT_EQ(current(), nullptr);
   EXPECT_FALSE(active(Component::kSim));
-  emit(TimePoint{1}, ProcessId{1}, Component::kSim, Kind::kMark, "lost");
+  emit_text(TimePoint{1}, ProcessId{1}, Component::kSim, Kind::kMark,
+            "lost");
   EXPECT_EQ(current(), nullptr);
 }
 
@@ -154,14 +155,16 @@ TEST(TraceScopeTest, ScopeInstallsAndNestingRestores) {
     Scope s1(outer);
     EXPECT_EQ(current(), &outer);
     EXPECT_TRUE(active(Component::kNet));
-    emit(TimePoint{1}, ProcessId{1}, Component::kNet, Kind::kSend, "a");
+    emit_text(TimePoint{1}, ProcessId{1}, Component::kNet, Kind::kSend,
+              "a");
     {
       Scope s2(inner);
       EXPECT_EQ(current(), &inner);
       EXPECT_FALSE(active(Component::kNet));  // masked out in inner
-      emit(TimePoint{2}, ProcessId{1}, Component::kNet, Kind::kSend, "b");
-      emit(TimePoint{3}, ProcessId{0}, Component::kChaos, Kind::kFault,
-           "c");
+      emit_text(TimePoint{2}, ProcessId{1}, Component::kNet, Kind::kSend,
+                "b");
+      emit_text(TimePoint{3}, ProcessId{0}, Component::kChaos,
+                Kind::kFault, "c");
     }
     EXPECT_EQ(current(), &outer);
   }
@@ -170,6 +173,165 @@ TEST(TraceScopeTest, ScopeInstallsAndNestingRestores) {
   EXPECT_EQ(outer.records()[0].detail, "a");
   ASSERT_EQ(inner.size(), 1u);
   EXPECT_EQ(inner.records()[0].detail, "c");
+}
+
+// The typed variadic emit API must render exactly the canonical
+// "key=value" detail strings the v2 recorder stored eagerly — every
+// value type in the key table is exercised here.
+TEST(TraceRecorderTest, TypedFieldsRenderCanonicalDetails) {
+  Recorder rec;
+  rec.append(TimePoint{10}, ProcessId{0}, Component::kSim,
+             Kind::kTimerFire, fu(Key::kTimer, 42));
+  rec.append(TimePoint{20}, ProcessId{1}, Component::kNet, Kind::kSend,
+             fs(Key::kType, "keepalive"), fp(Key::kSrc, ProcessId{1}),
+             fp(Key::kDst, ProcessId{2}));
+  rec.append(TimePoint{30}, ProcessId{2}, Component::kNet, Kind::kDrop,
+             fs(Key::kType, "ring_event"), fp(Key::kSrc, ProcessId{1}),
+             fp(Key::kDst, ProcessId{2}), fs(Key::kReason, "edge_loss"));
+  rec.append(TimePoint{40}, ProcessId{0}, Component::kNet, Kind::kLink,
+             fs(Key::kText, "edge_delay"), fp(Key::kSrc, ProcessId{1}),
+             fp(Key::kDst, ProcessId{3}), fi(Key::kExtraUs, -250));
+  rec.append(TimePoint{50}, ProcessId{1}, Component::kDelivery,
+             Kind::kIngest, ProvenanceId{1, 7},
+             fu(Key::kApp, 1), fe(Key::kEvent, EventId{SensorId{1}, 7}),
+             fs(Key::kSrcName, "device"), fu(Key::kSeen, 1),
+             fu(Key::kNeed, 3));
+  rec.append(TimePoint{60}, ProcessId{0}, Component::kDevice,
+             Kind::kActuated, ProvenanceId{1, 7},
+             fc(Key::kCmd, CommandId{ProcessId{2}, 9}),
+             fa(Key::kActuator, ActuatorId{4}), fu(Key::kAccepted, 1),
+             fu(Key::kDup, 0));
+  std::vector<ProcessId> view{ProcessId{1}, ProcessId{2}, ProcessId{3}};
+  rec.append(TimePoint{70}, ProcessId{1}, Component::kMembership,
+             Kind::kView, fv(Key::kView, view));
+  rec.append(TimePoint{80}, ProcessId{0}, Component::kChaos, Kind::kFault,
+             fu(Key::kFaultId, 3), fs(Key::kText, "crash p2 (noop)"));
+  rec.append(TimePoint{90}, ProcessId{0}, Component::kRuntime,
+             Kind::kCrash);
+
+  std::vector<Record> rs = rec.records();
+  ASSERT_EQ(rs.size(), 9u);
+  EXPECT_EQ(rs[0].detail, "timer=42");
+  EXPECT_EQ(rs[1].detail, "type=keepalive src=p1 dst=p2");
+  EXPECT_EQ(rs[2].detail, "type=ring_event src=p1 dst=p2 reason=edge_loss");
+  EXPECT_EQ(rs[3].detail, "edge_delay src=p1 dst=p3 extra_us=-250");
+  EXPECT_EQ(rs[4].detail, "app=1 event=s1#7 src=device S=1 V=3");
+  EXPECT_EQ(rs[4].prov, (ProvenanceId{1, 7}));
+  EXPECT_EQ(rs[5].detail, "cmd=p2!9 actuator=a4 accepted=1 dup=0");
+  EXPECT_EQ(rs[6].detail, "view=p1+p2+p3");
+  EXPECT_EQ(rs[7].detail, "id=3 crash p2 (noop)");
+  EXPECT_EQ(rs[8].detail, "");
+  for (const Record& r : rs) {
+    EXPECT_EQ(r.at.us % 10, 0);
+  }
+  // The packed trace round-trips through encode/decode unchanged.
+  Recorder back;
+  std::string err;
+  ASSERT_TRUE(Recorder::decode(rec.encode(), &back, &err)) << err;
+  EXPECT_EQ(back.records(), rs);
+  EXPECT_EQ(back.encode(), rec.encode());
+}
+
+// Old-format traces must be refused with an actionable message, not a
+// generic parse error (satellite of the v3 migration).
+TEST(TraceRecorderTest, RejectsOldFormatVersionsWithExactMessage) {
+  for (std::uint32_t old : {1u, 2u}) {
+    std::vector<std::byte> buf;
+    for (char c : {'R', 'I', 'V', 'T'}) buf.push_back(std::byte(c));
+    for (int i = 0; i < 4; ++i)
+      buf.push_back(static_cast<std::byte>((old >> (8 * i)) & 0xff));
+    buf.resize(buf.size() + 16);  // stale count/records bytes
+    Recorder back;
+    std::string err;
+    ASSERT_FALSE(Recorder::decode(buf, &back, &err));
+    EXPECT_EQ(err, "unsupported trace version " + std::to_string(old) +
+                       " (this build reads 3)");
+  }
+}
+
+TEST(TraceRecorderTest, TrailingGarbageAfterFooterIsRejected) {
+  Recorder rec;
+  for (const Record& r : sample_records()) rec.append(r);
+  std::vector<std::byte> buf = rec.encode();
+  buf.push_back(std::byte{0x00});
+  Recorder back;
+  std::string err;
+  EXPECT_FALSE(Recorder::decode(buf, &back, &err));
+  EXPECT_NE(err.find("trailing"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, AppendAfterLoadExtendsTheTrace) {
+  Recorder rec;
+  for (const Record& r : sample_records()) rec.append(r);
+  Recorder back;
+  std::string err;
+  ASSERT_TRUE(Recorder::decode(rec.encode(), &back, &err)) << err;
+  back.append(TimePoint{9999}, ProcessId{2}, Component::kRuntime,
+              Kind::kPromote, fu(Key::kApp, 1));
+  std::vector<Record> rs = back.records();
+  ASSERT_EQ(rs.size(), sample_records().size() + 1);
+  EXPECT_EQ(rs.back().detail, "app=1");
+  EXPECT_EQ(rs.back().at.us, 9999);
+}
+
+// Ring mode: bounded memory, most recent records retained, and the
+// trimmed trace still encodes/decodes as a valid v3 file.
+TEST(TraceRecorderTest, RingModeKeepsTheMostRecentRecords) {
+  Recorder rec;
+  rec.set_ring_limit(64 * 1024);  // one chunk's worth
+  // Each record carries a fat payload so several 64KB chunks fill up.
+  std::string pad(200, 'x');
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    rec.append(TimePoint{i}, ProcessId{1}, Component::kChaos, Kind::kMark,
+               fs(Key::kText, pad), fu(Key::kFaultId,
+                                       static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_GT(rec.dropped_records(), 0u);
+  EXPECT_EQ(rec.size() + rec.dropped_records(),
+            static_cast<std::uint64_t>(kN));
+  EXPECT_LE(rec.payload_bytes(), 2u * 64 * 1024);  // ring + open chunk
+  std::vector<Record> rs = rec.records();
+  ASSERT_EQ(rs.size(), rec.size());
+  // The retained suffix ends at the newest record and is contiguous.
+  EXPECT_EQ(rs.back().at.us, kN - 1);
+  for (std::size_t i = 1; i < rs.size(); ++i)
+    EXPECT_EQ(rs[i].at.us, rs[i - 1].at.us + 1);
+  Recorder back;
+  std::string err;
+  ASSERT_TRUE(Recorder::decode(rec.encode(), &back, &err)) << err;
+  EXPECT_EQ(back.records(), rs);
+}
+
+// Streaming sink: the file written incrementally must be byte-identical
+// to what an in-memory recorder fed the same records would encode().
+TEST(TraceRecorderTest, StreamingSinkMatchesInMemoryEncoding) {
+  std::string path = testing::TempDir() + "/riv_trace_stream.rivtrace";
+  Recorder streamed;
+  std::string err;
+  ASSERT_TRUE(streamed.stream_to(path, &err)) << err;
+  Recorder memory;
+  std::string pad(100, 'y');
+  for (int i = 0; i < 3000; ++i) {  // spans multiple flushed chunks
+    streamed.append(TimePoint{i * 10}, ProcessId{1}, Component::kDelivery,
+                    Kind::kIngest, fu(Key::kApp, 1),
+                    fs(Key::kSrcName, pad));
+    memory.append(TimePoint{i * 10}, ProcessId{1}, Component::kDelivery,
+                  Kind::kIngest, fu(Key::kApp, 1),
+                  fs(Key::kSrcName, pad));
+  }
+  // While streaming, memory stays bounded to roughly one chunk.
+  EXPECT_TRUE(streamed.streaming());
+  ASSERT_TRUE(streamed.finish(&err)) << err;
+  EXPECT_EQ(streamed.hash(), memory.hash());
+
+  std::vector<std::byte> expected = memory.encode();
+  Recorder back;
+  ASSERT_TRUE(Recorder::load(path, &back, &err)) << err;
+  EXPECT_EQ(back.encode(), expected);
+  EXPECT_EQ(back.records(), memory.records());
+  EXPECT_EQ(back.hash(), memory.hash());
+  std::remove(path.c_str());
 }
 
 TEST(TraceDiffTest, IdenticalTracesDiffClean) {

@@ -89,8 +89,9 @@ std::shared_ptr<trace::Recorder> run_home_scenario(
   if (crash_active_logic) {
     core::RivuletProcess* active = home.active_logic_process(kApp);
     if (active != nullptr) active->crash();
-    trace::emit(home.sim().now(), ProcessId{0}, trace::Component::kChaos,
-                trace::Kind::kMark, "crash_active_logic");
+    trace::emit_text(home.sim().now(), ProcessId{0},
+                     trace::Component::kChaos, trace::Kind::kMark,
+                     "crash_active_logic");
   }
   home.run_for(seconds(5));
   return rec;

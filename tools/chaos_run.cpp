@@ -48,6 +48,14 @@ struct CliOptions {
   // replayable .rivtrace artifact under this directory for each FAILING
   // seed (tools/trace_diff reads them).
   std::string trace_dir;
+  // Ring sink: cap the in-memory flight trace at ~N bytes of packed
+  // records, keeping the most recent ones (implies flight recording).
+  std::size_t trace_ring_bytes{0};
+  // Streaming sink: write DIR/seed-N.rivtrace incrementally during the
+  // run for EVERY seed, with one chunk of buffering (implies flight
+  // recording; only the primary run streams, the determinism re-run
+  // records in memory).
+  std::string stream_dir;
   // When non-empty, capture per-process metric snapshots every virtual
   // second and save DIR/seed-N.metrics.csv for EVERY seed (a timeline is
   // useful even — especially — when the seed passes).
@@ -75,6 +83,11 @@ void usage(const char* argv0) {
       "                        demonstrate violation reporting + repro\n"
       "  --trace DIR           record a flight trace per seed; save\n"
       "                        DIR/seed-N.rivtrace for every failing seed\n"
+      "  --trace-ring N        keep only the last ~N bytes of packed\n"
+      "                        flight records (bounded memory; implies\n"
+      "                        flight recording)\n"
+      "  --trace-stream DIR    stream DIR/seed-N.rivtrace to disk during\n"
+      "                        the run for every seed (bounded memory)\n"
       "  --metrics DIR         snapshot per-process counters every virtual\n"
       "                        second; save DIR/seed-N.metrics.csv per seed\n"
       "  --quiet               only print failures and the final summary\n",
@@ -141,7 +154,8 @@ std::string repro_command(const CliOptions& cli, std::uint64_t seed) {
   return cmd;
 }
 
-chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed) {
+chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed,
+                            bool primary = true) {
   chaos::EngineOptions opt;
   opt.scenario.seed = seed;
   opt.scenario.guarantee = cli.guarantee;
@@ -150,7 +164,17 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed) {
   opt.scenario.device_link_loss = cli.loss;
   opt.plan.horizon = seconds(cli.duration_s);
   opt.check_interval = milliseconds(cli.check_interval_ms);
-  opt.flight = !cli.trace_dir.empty();
+  opt.flight = !cli.trace_dir.empty() || cli.trace_ring_bytes > 0 ||
+               !cli.stream_dir.empty();
+  opt.flight_ring_bytes = cli.trace_ring_bytes;
+  // Only the primary run streams to disk; the determinism re-run would
+  // otherwise overwrite the same artifact mid-flight.
+  if (primary && !cli.stream_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.stream_dir, ec);
+    opt.flight_stream_path =
+        cli.stream_dir + "/seed-" + std::to_string(seed) + ".rivtrace";
+  }
   if (!cli.metrics_dir.empty()) opt.metrics_period = seconds(1);
   chaos::ChaosEngine engine(opt);
   if (cli.demo_violation)
@@ -173,7 +197,7 @@ SeedOutcome run_seed(const CliOptions& cli, std::uint64_t seed) {
   o.seed = seed;
   o.result = run_once(cli, seed);
   if (cli.verify_determinism) {
-    chaos::ChaosResult r2 = run_once(cli, seed);
+    chaos::ChaosResult r2 = run_once(cli, seed, /*primary=*/false);
     o.deterministic = r2.trace_hash == o.result.trace_hash;
     o.second_digest = r2.trace_digest;
   }
@@ -210,18 +234,34 @@ bool report_outcome(const CliOptions& cli, const SeedOutcome& o) {
     std::printf("  drain did not reach quiescence within bound\n");
   for (const chaos::Violation& v : r.violations)
     std::printf("  %s\n", chaos::to_string(v).c_str());
-  if (failed && !cli.trace_dir.empty() && r.flight) {
+  if (failed && !cli.trace_dir.empty() && r.flight &&
+      !r.flight->streaming()) {
     std::error_code ec;
     std::filesystem::create_directories(cli.trace_dir, ec);
     std::string path =
         cli.trace_dir + "/seed-" + std::to_string(o.seed) + ".rivtrace";
     std::string err;
     if (r.flight->save(path, &err)) {
-      std::printf("  flight trace (%zu records) saved: %s\n",
-                  r.flight->size(), path.c_str());
+      if (r.flight->dropped_records() > 0) {
+        std::printf("  flight trace (last %zu records; ring dropped %llu) "
+                    "saved: %s\n",
+                    r.flight->size(),
+                    static_cast<unsigned long long>(
+                        r.flight->dropped_records()),
+                    path.c_str());
+      } else {
+        std::printf("  flight trace (%zu records) saved: %s\n",
+                    r.flight->size(), path.c_str());
+      }
     } else {
       std::printf("  flight trace save failed: %s\n", err.c_str());
     }
+  }
+  if (!cli.quiet && !cli.stream_dir.empty() && r.flight &&
+      r.flight->streaming()) {
+    std::printf("  flight trace streamed: %s/seed-%llu.rivtrace\n",
+                cli.stream_dir.c_str(),
+                static_cast<unsigned long long>(o.seed));
   }
   if (!cli.metrics_dir.empty() && !r.metrics_csv.empty()) {
     std::error_code ec;
@@ -291,6 +331,14 @@ int main(int argc, char** argv) {
       cli.demo_violation = true;
     } else if (arg == "--trace") {
       cli.trace_dir = next();
+    } else if (arg == "--trace-ring") {
+      cli.trace_ring_bytes = static_cast<std::size_t>(std::atoll(next()));
+      if (cli.trace_ring_bytes == 0) {
+        std::fprintf(stderr, "bad --trace-ring size\n");
+        return 2;
+      }
+    } else if (arg == "--trace-stream") {
+      cli.stream_dir = next();
     } else if (arg == "--metrics") {
       cli.metrics_dir = next();
     } else if (arg == "--quiet") {

@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
     std::printf("%s: %zu records, hash %s\n", paths[0], rec.size(),
                 rec.digest().c_str());
     std::size_t i = 0;
+    // records() decodes the packed arena on demand; do it once.
     for (const riv::trace::Record& r : rec.records())
       std::printf("[%zu] %s\n", i++, riv::trace::to_string(r).c_str());
     return 0;
@@ -91,13 +92,14 @@ int main(int argc, char** argv) {
   riv::trace::Recorder a, b;
   if (!load(paths[0], a) || !load(paths[1], b)) return 2;
 
-  riv::trace::Divergence d = riv::trace::diff(a.records(), b.records());
+  // Decode each packed trace once (records() renders on every call).
+  const std::vector<riv::trace::Record> ra = a.records();
+  const std::vector<riv::trace::Record> rb = b.records();
+  riv::trace::Divergence d = riv::trace::diff(ra, rb);
   std::printf("a: %s (%zu records, hash %s)\n", paths[0], a.size(),
               a.digest().c_str());
   std::printf("b: %s (%zu records, hash %s)\n", paths[1], b.size(),
               b.digest().c_str());
-  std::printf("%s",
-              riv::trace::render(a.records(), b.records(), d, context)
-                  .c_str());
+  std::printf("%s", riv::trace::render(ra, rb, d, context).c_str());
   return d.identical ? 0 : 1;
 }
