@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Byzantine integrity-audit gate (DESIGN §12), two halves:
+#
+#   1. Zero false positives — every blessed golden trace (recorded with no
+#      attacker) must audit to zero attacks and zero unattributed detector
+#      evidence:  trace_analyze --audit --check exits 0.
+#   2. 100% detection — every seed in tests/seeds_byzantine.txt replays
+#      with the attacker armed (--kinds crash,spoof-event,replay-event,
+#      corrupt-begin), streams its flight trace, and the audit must
+#      account for every injected attack (detected by a tamper verdict or
+#      provably lost in the network) with nothing left unattributed.
+#
+# usage: check_byzantine_corpus.sh [build_dir] [seeds_byzantine.txt]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+seeds_file="${2:-$repo_root/tests/seeds_byzantine.txt}"
+chaos_run="$build_dir/tools/chaos_run"
+trace_analyze="$build_dir/tools/trace_analyze"
+
+for tool in "$chaos_run" "$trace_analyze"; do
+  if [[ ! -x "$tool" ]]; then
+    echo "tool not found/executable: $tool" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+status=0
+
+echo "== goldens: integrity audit must report zero attacks =="
+for g in gapless_ring gap_chain failover chaos_flight; do
+  if ! "$trace_analyze" --audit --check \
+      "$repo_root/tests/trace_golden/$g.rivtrace"; then
+    echo "FALSE POSITIVE: golden $g failed the integrity audit" >&2
+    status=1
+  fi
+done
+
+echo "== Byzantine corpus: audit must account for every attack =="
+kinds="crash,spoof-event,replay-event,corrupt-begin"
+while read -r seed guarantee horizon; do
+  [[ -z "$seed" || "$seed" == \#* ]] && continue
+  if ! "$chaos_run" --seed "$seed" --guarantee "$guarantee" \
+      --duration "$horizon" --kinds "$kinds" \
+      --trace-stream "$workdir" --quiet; then
+    echo "UNDEFENDED: seed $seed tripped an invariant under attack" >&2
+    status=1
+    continue
+  fi
+  trace="$workdir/seed-$seed.rivtrace"
+  if ! "$trace_analyze" --audit --check "$trace"; then
+    echo "AUDIT GAP: seed $seed ($guarantee) has unaccounted attacks" >&2
+    echo "  repro: chaos_run --seed $seed --guarantee $guarantee" \
+         "--duration $horizon --kinds $kinds --trace" >&2
+    status=1
+  fi
+done < "$seeds_file"
+
+if [[ $status -eq 0 ]]; then
+  echo "byzantine corpus: zero false positives, 100% of attacks accounted"
+fi
+exit $status

@@ -51,9 +51,24 @@ ChaosResult ChaosEngine::run() {
   // streamed trace stays byte-identical to an in-memory save.
   {
   // --- the standard home -------------------------------------------------
+  // Any Byzantine plan category arms the attacker model (signing sensors,
+  // ground-truth markers); the defense toggle decides whether receivers
+  // actually verify. The deployment key is a pure function of the seed so
+  // sealed traffic — like everything else — replays bit-for-bit.
+  const bool byzantine = options_.plan.spoof_events ||
+                         options_.plan.replay_events ||
+                         options_.plan.corrupt_process;
+  const bool defense = byzantine && options_.byzantine_defense;
+  const std::uint64_t integrity_key =
+      sc.seed * 0x2545f4914f6cdd1dULL ^ 0x452821e638d01377ULL;
+
   workload::HomeDeployment::Options home_opt;
   home_opt.seed = sc.seed;
   home_opt.n_processes = sc.n_processes;
+  if (defense) {
+    home_opt.config.integrity = true;
+    home_opt.config.integrity_key = integrity_key;
+  }
   workload::HomeDeployment home(home_opt);
 
   devices::SensorSpec spec;
@@ -67,7 +82,8 @@ ChaosResult ChaosEngine::run() {
     linked.push_back(home.pid(i));
   devices::LinkParams link;
   link.loss_prob = sc.device_link_loss;
-  home.add_sensor(spec, linked, link);
+  devices::Sensor& door = home.add_sensor(spec, linked, link);
+  if (byzantine) door.enable_integrity(integrity_key);
 
   devices::ActuatorSpec light;
   light.id = kChaosActuator;
@@ -105,10 +121,15 @@ ChaosResult ChaosEngine::run() {
     checker.add(std::make_unique<LogSetConvergence>());
     checker.add(std::make_unique<GaplessPostIngest>());
   }
+  if (byzantine) {
+    checker.add(std::make_unique<NoForgedActuation>());
+    if (defense) checker.add(std::make_unique<NoOriginSeqRegression>());
+  }
   for (auto& inv : extra_) checker.add(std::move(inv));
   extra_.clear();
 
   FaultInjector injector(home, trace);
+  injector.set_integrity_armed(defense);
   injector.arm(plan, [&checker](TimePoint window_start) {
     checker.check_converged(window_start, /*final_check=*/false);
   });
@@ -128,6 +149,16 @@ ChaosResult ChaosEngine::run() {
   // --- summarize ----------------------------------------------------------
   result.violations = checker.violations();
   result.faults_injected = injector.injected();
+  result.faults_noop = injector.noops();
+  result.byzantine_attacks = injector.attacks();
+  if (byzantine) {
+    // Folded into the determinism hash like the main summary, so a hash
+    // match also certifies "same attacks were performed and survived".
+    trace.record(home.sim().now(),
+                 std::string("byzantine attacks=") +
+                     std::to_string(injector.attacks()) +
+                     " defense=" + (defense ? "on" : "off"));
+  }
   result.delivered = home.metrics().counter_value(
       "app" + std::to_string(kChaosApp.value) + ".delivered");
   result.emitted = home.bus().sensor(kChaosSensor).events_emitted();

@@ -56,6 +56,13 @@ struct EngineOptions {
   // every `metrics_period` of virtual time and the timeline lands in
   // ChaosResult::metrics_csv (tools/chaos_run --metrics).
   Duration metrics_period{};
+  // When any Byzantine plan category is enabled the engine arms the
+  // tamper-evidence layer (device MACs + sealed frames + receiver
+  // verification) unless this is cleared — tests clear it to demonstrate
+  // what an undefended home does with the same attacks. Sensors sign
+  // their emissions whenever Byzantine chaos is on, so the attacker model
+  // is identical in both modes; only the verification differs.
+  bool byzantine_defense{true};
 };
 
 struct ChaosResult {
@@ -69,6 +76,11 @@ struct ChaosResult {
   std::string metrics_csv;
   bool quiesced{false};
   std::size_t faults_injected{0};
+  // Plan actions that landed on already-satisfied state ("(noop)").
+  std::size_t faults_noop{0};
+  // Byzantine attacks actually performed (spoof/replay injections and
+  // interposer mutate/dup/drop events); 0 unless a Byzantine category ran.
+  std::size_t byzantine_attacks{0};
   std::uint64_t delivered{0};
   std::uint64_t ingested{0};
   std::uint64_t emitted{0};

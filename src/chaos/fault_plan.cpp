@@ -25,6 +25,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDeviceRecover:  return "device-recover";
     case FaultKind::kQuiesceBegin:   return "quiesce-begin";
     case FaultKind::kQuiesceEnd:     return "quiesce-end";
+    case FaultKind::kSpoofEvent:     return "spoof-event";
+    case FaultKind::kReplayEvent:    return "replay-event";
+    case FaultKind::kCorruptBegin:   return "corrupt-begin";
+    case FaultKind::kCorruptEnd:     return "corrupt-end";
   }
   return "?";
 }
@@ -74,6 +78,18 @@ std::string to_string(const FaultAction& action) {
     case FaultKind::kDeviceRecover:
       out += " " + to_string(action.sensor);
       break;
+    case FaultKind::kSpoofEvent:
+      out += " " + to_string(action.sensor) + "#" +
+             std::to_string(action.seq) + " dst=" + to_string(action.b);
+      break;
+    case FaultKind::kReplayEvent:
+      out += " " + to_string(action.sensor) + " dst=" + to_string(action.b) +
+             " idx=" + std::to_string(action.seq);
+      break;
+    case FaultKind::kCorruptBegin:
+    case FaultKind::kCorruptEnd:
+      out += " " + to_string(action.a);
+      break;
   }
   return out;
 }
@@ -90,6 +106,9 @@ enum Category {
   kCatLoss,
   kCatDeviceLoss,
   kCatDeviceCrash,
+  kCatSpoof,
+  kCatReplay,
+  kCatCorrupt,
 };
 
 }  // namespace
@@ -119,6 +138,12 @@ FaultPlan generate_plan(std::uint64_t seed, PlanOptions options) {
   std::map<std::pair<int, int>, TimePoint> sever_busy, delay_busy, loss_busy;
   std::map<std::pair<SensorId, ProcessId>, TimePoint> dev_link_busy;
   std::map<SensorId, TimePoint> device_busy;
+  // At most one compromised process at a time; crashes are suppressed
+  // while a corrupt span is open so the victim is never the last correct
+  // (up and honest) process.
+  int corrupt_idx = -1;
+  TimePoint corrupt_until{};
+  std::uint32_t spoof_seq = 0;
 
   auto emit = [&plan](FaultAction a) { plan.actions.push_back(std::move(a)); };
   auto make = [](TimePoint at, FaultKind kind) {
@@ -154,11 +179,14 @@ FaultPlan generate_plan(std::uint64_t seed, PlanOptions options) {
     // Partial-quiescence window: heal everything, let the home converge,
     // then resume chaos. The injector runs converged-state invariant
     // checks at the kQuiesceEnd mark.
+    if (corrupt_idx >= 0 && t >= corrupt_until) corrupt_idx = -1;
+
     if (options.quiesce_every.us > 0 && t >= next_quiesce) {
       emit(make(t, FaultKind::kQuiesceBegin));
       std::fill(up.begin(), up.end(), true);
       up_count = n;
       partition_active = false;
+      corrupt_idx = -1;  // quiesce heals compromised processes too
       t = t + options.quiesce_len;
       emit(make(t, FaultKind::kQuiesceEnd));
       next_quiesce = t + options.quiesce_every;
@@ -167,7 +195,8 @@ FaultPlan generate_plan(std::uint64_t seed, PlanOptions options) {
     }
 
     std::vector<Category> cats;
-    if (options.crashes && up_count > 1) cats.push_back(kCatCrash);
+    if (options.crashes && up_count > 1 && corrupt_idx < 0)
+      cats.push_back(kCatCrash);
     if (options.crashes && up_count < n) cats.push_back(kCatRecover);
     if (options.partitions && n >= 2) cats.push_back(kCatPartition);
     if (options.asym_partitions && n >= 2) cats.push_back(kCatAsym);
@@ -177,6 +206,12 @@ FaultPlan generate_plan(std::uint64_t seed, PlanOptions options) {
       cats.push_back(kCatDeviceLoss);
     if (options.device_crashes && !options.devices.empty())
       cats.push_back(kCatDeviceCrash);
+    if (options.spoof_events && !options.device_links.empty())
+      cats.push_back(kCatSpoof);
+    if (options.replay_events && !options.device_links.empty())
+      cats.push_back(kCatReplay);
+    if (options.corrupt_process && up_count >= 2 && corrupt_idx < 0)
+      cats.push_back(kCatCorrupt);
     if (cats.empty()) {
       advance();
       continue;
@@ -326,6 +361,49 @@ FaultPlan generate_plan(std::uint64_t seed, PlanOptions options) {
         FaultAction rec = make(t + hold, FaultKind::kDeviceRecover);
         rec.sensor = dev;
         emit(std::move(rec));
+        break;
+      }
+      case kCatSpoof: {
+        const auto& link = options.device_links[rng.uniform_int(
+            options.device_links.size())];
+        FaultAction a = make(t, FaultKind::kSpoofEvent);
+        a.sensor = link.first;
+        a.b = link.second;
+        // Forged sequence numbers live far above anything a real sensor
+        // reaches in a run, so a spoof is never accidentally well-formed.
+        a.seq = (1u << 20) + spoof_seq++;
+        a.value = rng.uniform(0.0, 1.0);
+        emit(std::move(a));
+        break;
+      }
+      case kCatReplay: {
+        const auto& link = options.device_links[rng.uniform_int(
+            options.device_links.size())];
+        FaultAction a = make(t, FaultKind::kReplayEvent);
+        a.sensor = link.first;
+        a.b = link.second;
+        // Raw draw; the injector reduces it modulo the sensor's recent
+        // emission window at apply time.
+        a.seq = static_cast<std::uint32_t>(rng.next() & 0xffffu);
+        emit(std::move(a));
+        break;
+      }
+      case kCatCorrupt: {
+        int victim;
+        do {
+          victim = static_cast<int>(
+              rng.uniform_int(static_cast<std::uint64_t>(n)));
+        } while (!up[static_cast<std::size_t>(victim)]);
+        Duration hold = rand_duration(seconds(1), options.max_fault_hold);
+        corrupt_idx = victim;
+        corrupt_until = t + hold;
+        FaultAction begin = make(t, FaultKind::kCorruptBegin);
+        begin.a = pid(victim);
+        begin.dur = hold;
+        emit(std::move(begin));
+        FaultAction end = make(t + hold, FaultKind::kCorruptEnd);
+        end.a = pid(victim);
+        emit(std::move(end));
         break;
       }
     }

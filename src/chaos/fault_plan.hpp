@@ -44,6 +44,11 @@ enum class FaultKind : std::uint8_t {
   kDeviceRecover,
   kQuiesceBegin,    // heal everything; convergence window opens
   kQuiesceEnd,      // convergence window closes; converged checks fire
+  kSpoofEvent,      // inject a sensor event with forged origin/seq at b
+  kReplayEvent,     // re-deliver a previously emitted event to b
+  kCorruptBegin,    // a: process starts duplicating/dropping/mutating
+                    // the event frames it forwards
+  kCorruptEnd,      // a: process behaves correctly again
 };
 
 const char* to_string(FaultKind kind);
@@ -54,8 +59,9 @@ struct FaultAction {
   ProcessId a{};                 // victim / edge source
   ProcessId b{};                 // edge destination / device link process
   SensorId sensor{};             // device actions
-  double value{0.0};             // loss probability
+  double value{0.0};             // loss probability / spoofed reading
   Duration dur{};                // delay-spike size / informational hold
+  std::uint32_t seq{0};          // spoofed sequence / replay pick
   std::vector<ProcessId> group;  // kPartition: members of side A
 };
 
@@ -85,6 +91,12 @@ struct PlanOptions {
   bool edge_loss{true};
   bool device_link_loss{true};
   bool device_crashes{true};
+  // Byzantine categories: off by default so existing (seed, options)
+  // pairs keep generating byte-identical plans. Enabling any of these
+  // also arms the tamper-evidence layer in the engine.
+  bool spoof_events{false};
+  bool replay_events{false};
+  bool corrupt_process{false};
 
   double max_edge_loss{0.8};
   double max_device_link_loss{0.7};

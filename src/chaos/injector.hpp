@@ -7,14 +7,24 @@
 // injector is the ONLY component that mutates fault state during a chaos
 // run; together with the plan's seed-determinism this makes the recorded
 // trace a complete, reproducible account of everything that went wrong.
+//
+// Byzantine actions (DESIGN.md §12) go through the same funnel: spoofed
+// and replayed device events are injected at the victim's adapter, and a
+// corrupt-process window installs the SimNetwork interposer so frames the
+// compromised host forwards can be mutated, duplicated, or eaten. Every
+// attack the injector actually performs emits a ground-truth kByzantine
+// trace marker carrying the fault id, which is what trace_analyze --audit
+// matches detector evidence against.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "chaos/fault_plan.hpp"
 #include "chaos/trace.hpp"
+#include "common/rng.hpp"
 #include "workload/deployment.hpp"
 
 namespace riv::chaos {
@@ -28,16 +38,34 @@ class FaultInjector {
 
   FaultInjector(workload::HomeDeployment& home, TraceRecorder& trace);
 
+  // Tell the injector whether the deployment's tamper-evidence layer is
+  // armed. Mutation attacks are only launched when it is: an unverified
+  // receiver would feed corrupt bytes to the strict internal decoders,
+  // which is outside the simulated threat model (the attacker wants to
+  // stay plausible, not to crash the victim). Replay eligibility also
+  // widens when verification is off — see apply().
+  void set_integrity_armed(bool armed) { integrity_ = armed; }
+
   // Schedule every action of `plan`. Call once, before or after
   // HomeDeployment::start(), but before running the simulation.
   void arm(const FaultPlan& plan, QuiesceHook on_quiesce_end = {});
 
+  // Actions that changed home state when applied.
   std::size_t injected() const { return injected_; }
+  // Actions that landed on already-satisfied state (recorded "(noop)").
+  std::size_t noops() const { return noops_; }
+  // Byzantine attacks actually performed (spoof/replay injections plus
+  // interposer mutate/dup/drop events) — each emitted a kByzantine marker.
+  std::size_t attacks() const { return attacks_; }
 
  private:
   void apply(const FaultAction& action);
   // Restore every device link touched by a loss ramp to its baseline.
   void restore_device_links();
+  // SimNetwork hook for the corrupt-process window; returns the number of
+  // copies to transmit (0 eats the frame).
+  int interpose(net::Message& msg);
+  void mark_net_attack(const net::Message& msg, const char* what);
 
   workload::HomeDeployment* home_;
   TraceRecorder* trace_;
@@ -45,7 +73,20 @@ class FaultInjector {
   // Baseline loss of device links, snapshotted before the first override.
   std::map<std::pair<SensorId, ProcessId>, double> base_link_loss_;
   TimePoint window_start_{};
+  // seq_ numbers EVERY action in plan order (applied or noop): it is the
+  // fault id attacks and audit attribution reference, and must stay
+  // stable across accounting changes. injected_/noops_ split the same
+  // total into "changed state" vs "(noop)".
+  std::size_t seq_{0};
   std::size_t injected_{0};
+  std::size_t noops_{0};
+  std::size_t attacks_{0};
+  bool integrity_{false};
+  // Attack-time randomness (mutation byte picks, interposer rolls); forked
+  // deterministically from the plan seed in arm().
+  Rng byz_rng_{0};
+  std::optional<ProcessId> corrupt_pid_;
+  std::size_t corrupt_fault_id_{0};
 };
 
 }  // namespace riv::chaos

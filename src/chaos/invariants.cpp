@@ -139,6 +139,56 @@ void GaplessPostIngest::check(const CheckContext& ctx,
   }
 }
 
+void NoForgedActuation::check(const CheckContext& ctx,
+                              std::vector<Violation>& out) const {
+  workload::HomeDeployment& home = *ctx.home;
+  devices::HomeBus& bus = home.bus();
+  const std::vector<SensorId> sensors = bus.sensors();
+  for (ActuatorId aid : bus.actuators()) {
+    const auto& history = bus.actuator(aid).history();
+    std::size_t& cursor = scanned_[aid];
+    for (; cursor < history.size(); ++cursor) {
+      const ProvenanceId cause = history[cursor].cause;
+      if (!cause.valid()) continue;
+      // Only sensor-origin provenance is judgeable here (logic-derived
+      // origins carry 0xffff and no per-device emission history).
+      SensorId origin{cause.origin};
+      if (std::find(sensors.begin(), sensors.end(), origin) ==
+          sensors.end())
+        continue;
+      // Device seqs are 1-based: after N emissions the genuine seqs are
+      // exactly 1..N, so anything above events_emitted() is fabricated.
+      if (cause.seq > bus.sensor(origin).events_emitted()) {
+        out.push_back(
+            {name(), home.sim().now(),
+             to_string(aid) + " actuated on " + to_string(origin) + "#" +
+                 std::to_string(cause.seq) + " which " + to_string(origin) +
+                 " never emitted (emitted " +
+                 std::to_string(bus.sensor(origin).events_emitted()) + ")"});
+      }
+    }
+  }
+}
+
+void NoOriginSeqRegression::check(const CheckContext& ctx,
+                                  std::vector<Violation>& out) const {
+  workload::HomeDeployment& home = *ctx.home;
+  if (!home.config().integrity) return;
+  for (ProcessId p : home.processes()) {
+    core::RivuletProcess& proc = home.process(p);
+    std::uint64_t ingested =
+        home.metrics().counter_value(ingest_counter(p, ctx.sensor));
+    std::uint64_t distinct = proc.device_seqs_seen_count(ctx.sensor);
+    if (ingested > distinct) {
+      out.push_back({name(), home.sim().now(),
+                     to_string(p) + " ingested " + std::to_string(ingested) +
+                         " events from " + to_string(ctx.sensor) +
+                         " but only " + std::to_string(distinct) +
+                         " distinct seqs — a repeated seq was accepted"});
+    }
+  }
+}
+
 InvariantChecker::InvariantChecker(workload::HomeDeployment& home, AppId app,
                                    SensorId sensor)
     : home_(&home), app_(app), sensor_(sensor) {}

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -120,6 +121,39 @@ class GaplessPostIngest : public Invariant {
  public:
   const char* name() const override { return "gapless-post-ingest"; }
   bool continuous() const override { return false; }
+  void check(const CheckContext& ctx,
+             std::vector<Violation>& out) const override;
+};
+
+// DESIGN §12 "no actuation without genuine provenance": every actuation
+// whose cause names a known sensor must reference a sequence number that
+// sensor actually emitted. A spoofed event that reaches an app turns into
+// an actuation with a fabricated provenance seq, which this catches even
+// when every lower layer was fooled. Continuous — a forged actuation is a
+// violation the instant it happens.
+class NoForgedActuation : public Invariant {
+ public:
+  const char* name() const override { return "no-forged-actuation"; }
+  bool continuous() const override { return true; }
+  void check(const CheckContext& ctx,
+             std::vector<Violation>& out) const override;
+
+ private:
+  // Actuator histories are append-only; remember how far we scanned.
+  mutable std::map<ActuatorId, std::size_t> scanned_;
+};
+
+// DESIGN §12 "no origin seq regression": with the tamper-evidence layer
+// armed, every accepted device ingest adds a previously-unseen sequence
+// number to the per-origin history, so per process the ingest counter and
+// the history size must track exactly. A replayed (or otherwise repeated)
+// seq that slips past the gate makes the counter run ahead — defense in
+// depth for any future ingest path that forgets the gate. No-op when the
+// integrity layer is off.
+class NoOriginSeqRegression : public Invariant {
+ public:
+  const char* name() const override { return "no-origin-seq-regression"; }
+  bool continuous() const override { return true; }
   void check(const CheckContext& ctx,
              std::vector<Violation>& out) const override;
 };

@@ -34,6 +34,14 @@ struct Config {
   // Optional explicit placement chains per app (highest priority first).
   // When absent, the placement function of §7 is used.
   std::map<AppId, std::vector<ProcessId>> placement_override;
+
+  // Tamper evidence (DESIGN.md §12). When armed, event-bearing frames
+  // carry the integrity trailer (wire::seal) and receivers verify and
+  // strip it before any decoder runs; device events are checked against
+  // their radio MAC and a per-origin sequence history. Off by default so
+  // non-adversarial runs keep byte-identical frames, sizes and timing.
+  bool integrity{false};
+  std::uint64_t integrity_key{0};
 };
 
 }  // namespace riv::core

@@ -39,8 +39,9 @@ void GapStream::on_device_event(const devices::SensorEvent& e) {
     p.sensor = e.id.sensor;
     p.event = e;
     ++forwards_;
-    ctx_.send(*bearer, net::MsgType::kGapForward,
-              wire::encode_event_payload(p));
+    std::vector<std::byte> buf = wire::encode_event_payload(p);
+    if (ctx_.seal) ctx_.seal(buf, e.chain);
+    ctx_.send(*bearer, net::MsgType::kGapForward, std::move(buf));
     return;
   }
   ++discarded_;

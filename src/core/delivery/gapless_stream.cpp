@@ -58,7 +58,9 @@ void GaplessStream::forward_to_successor(const devices::SensorEvent& e,
   p.need = need;
   p.event = e;
   ++ring_forwards_;
-  ctx_.send(*succ, net::MsgType::kRingEvent, wire::encode(p));
+  std::vector<std::byte> buf = wire::encode(p);
+  if (ctx_.seal) ctx_.seal(buf, e.chain);
+  ctx_.send(*succ, net::MsgType::kRingEvent, std::move(buf));
 }
 
 void GaplessStream::on_ring(ProcessId from, const wire::RingPayload& p) {
@@ -110,7 +112,9 @@ void GaplessStream::initiate_reliable_broadcast(EventId id) {
   p.app = ctx_.app;
   p.sensor = id.sensor;
   p.event = stored->event;
-  net::Payload payload = wire::encode_event_payload(p);  // shared by all targets
+  std::vector<std::byte> buf = wire::encode_event_payload(p);
+  if (ctx_.seal) ctx_.seal(buf, stored->event.chain);
+  net::Payload payload = std::move(buf);  // shared by all targets
   for (ProcessId t : targets) {
     if (t == ctx_.self) continue;
     ctx_.send(t, net::MsgType::kRbEvent, payload);
@@ -141,7 +145,9 @@ void GaplessStream::on_rb(ProcessId from, const wire::EventPayload& p) {
 void GaplessStream::reflood(ProcessId origin, const wire::EventPayload& p) {
   if (rb_done_.count(p.event.id) != 0) return;
   rb_done_.insert(p.event.id);
-  net::Payload payload = wire::encode_event_payload(p);  // shared by all targets
+  std::vector<std::byte> buf = wire::encode_event_payload(p);
+  if (ctx_.seal) ctx_.seal(buf, p.event.chain);
+  net::Payload payload = std::move(buf);  // shared by all targets
   for (ProcessId t : ctx_.view()) {
     if (t == ctx_.self || t == origin) continue;
     ctx_.send(t, net::MsgType::kRbEvent, payload);
@@ -170,7 +176,9 @@ void GaplessStream::sync_successor(ProcessId successor,
     p.need.insert(view.begin(), view.end());
     p.event = se->event;
     ++ring_forwards_;
-    ctx_.send(successor, net::MsgType::kRingEvent, wire::encode(p));
+    std::vector<std::byte> buf = wire::encode(p);
+    if (ctx_.seal) ctx_.seal(buf, se->event.chain);
+    ctx_.send(successor, net::MsgType::kRingEvent, std::move(buf));
   }
 }
 

@@ -42,6 +42,11 @@ struct StreamContext {
   std::function<void(ProcessId, net::MsgType, net::Payload)> send;
   std::function<void(std::uint32_t epoch)> staleness;  // epoch had no event
   std::function<void(std::uint32_t epoch)> poll;       // issue a device poll
+  // Tamper evidence: bound by the runtime to wire::seal (with the
+  // deployment key) when the integrity layer is armed, null otherwise.
+  // Streams call it on every encoded event-bearing payload before send;
+  // `chain` is the event's per-origin hash-chain digest.
+  std::function<void(std::vector<std::byte>&, std::uint64_t chain)> seal;
 
   sim::ProcessTimers* timers{nullptr};
   EventLog* log{nullptr};  // Gapless only

@@ -259,6 +259,11 @@ RivuletProcess::StreamState RivuletProcess::make_stream(
     c->add(1);
     bus_->poll(self_, sensor, epoch);
   };
+  if (config_.integrity) {
+    ctx.seal = [this](std::vector<std::byte>& buf, std::uint64_t chain) {
+      wire::seal(buf, config_.integrity_key, chain);
+    };
+  }
   ctx.timers = timers_.get();
   ctx.log = app.log.get();
 
@@ -276,6 +281,31 @@ RivuletProcess::StreamState RivuletProcess::make_stream(
 // --- device ingest -------------------------------------------------------
 
 void RivuletProcess::on_device_event(const devices::SensorEvent& e) {
+  if (config_.integrity) {
+    // Radio-hop authenticity: a forged event fails the keyed MAC (it
+    // commits to every field plus the origin's chain digest)...
+    if (devices::event_mac(config_.integrity_key, e) != e.mac) {
+      if (trace::active(trace::Component::kRuntime)) {
+        trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                    trace::Kind::kTamper, provenance_of(e.id),
+                    trace::fe(trace::Key::kEvent, e.id),
+                    trace::fs(trace::Key::kText, "spoof"));
+      }
+      return;
+    }
+    // ...while a replayed genuine event passes it and is caught here:
+    // every sensor emission carries a fresh seq (polls included), so a
+    // seq this process already ingested can only be a re-injection.
+    if (!device_seqs_seen_[e.id.sensor].insert(e.id.seq).second) {
+      if (trace::active(trace::Component::kRuntime)) {
+        trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                    trace::Kind::kTamper, provenance_of(e.id),
+                    trace::fe(trace::Key::kEvent, e.id),
+                    trace::fs(trace::Key::kText, "replay"));
+      }
+      return;
+    }
+  }
   metrics::Counter*& ingest = ingest_counters_[e.id.sensor];
   if (ingest == nullptr) {
     ingest = &metrics_->counter("ingest.p" + std::to_string(self_.value) +
@@ -305,8 +335,18 @@ void RivuletProcess::on_message(const net::Message& msg) {
       // future deliveries), so the S/V buffers can be reused across
       // messages. thread_local for the parallel seed-sweep runner.
       thread_local wire::RingPayload p;
-      RIV_ASSERT(wire::decode_ring_into(msg.payload, p),
-                 "corrupt ring payload");
+      if (config_.integrity) {
+        wire::IntegrityTrailer tr;
+        if (!unseal(msg, &tr)) return;
+        RIV_ASSERT(wire::decode_ring_into(unseal_scratch_, p),
+                   "corrupt ring payload");
+        // chain travels only in the trailer (the base encoding is
+        // untouched); restore it so onward forwards re-seal correctly.
+        p.event.chain = tr.chain;
+      } else {
+        RIV_ASSERT(wire::decode_ring_into(msg.payload, p),
+                   "corrupt ring payload");
+      }
       auto ait = apps_.find(p.app);
       if (ait == apps_.end()) return;
       auto sit = ait->second.streams.find(p.sensor);
@@ -315,7 +355,15 @@ void RivuletProcess::on_message(const net::Message& msg) {
       return;
     }
     case net::MsgType::kRbEvent: {
-      wire::EventPayload p = wire::decode_event_payload(msg.payload);
+      wire::EventPayload p;
+      if (config_.integrity) {
+        wire::IntegrityTrailer tr;
+        if (!unseal(msg, &tr)) return;
+        p = wire::decode_event_payload(unseal_scratch_);
+        p.event.chain = tr.chain;
+      } else {
+        p = wire::decode_event_payload(msg.payload);
+      }
       auto ait = apps_.find(p.app);
       if (ait == apps_.end()) return;
       auto sit = ait->second.streams.find(p.sensor);
@@ -324,7 +372,15 @@ void RivuletProcess::on_message(const net::Message& msg) {
       return;
     }
     case net::MsgType::kGapForward: {
-      wire::EventPayload p = wire::decode_event_payload(msg.payload);
+      wire::EventPayload p;
+      if (config_.integrity) {
+        wire::IntegrityTrailer tr;
+        if (!unseal(msg, &tr)) return;
+        p = wire::decode_event_payload(unseal_scratch_);
+        p.event.chain = tr.chain;
+      } else {
+        p = wire::decode_event_payload(msg.payload);
+      }
       auto ait = apps_.find(p.app);
       if (ait == apps_.end()) return;
       auto sit = ait->second.streams.find(p.sensor);
@@ -584,7 +640,11 @@ void RivuletProcess::route_command(AppId id, AppState& app,
   payload.app = id;
   payload.guarantee = static_cast<std::uint8_t>(edge.guarantee);
   payload.command = cmd;
-  net::Payload bytes = wire::encode(payload);  // shared across all targets
+  std::vector<std::byte> buf = wire::encode(payload);
+  // Commands have no per-origin chain; sealed with chain 0 they still get
+  // the keyed MAC, so a corrupted forwarder cannot mutate them unnoticed.
+  if (config_.integrity) wire::seal(buf, config_.integrity_key, 0);
+  net::Payload bytes = std::move(buf);  // shared across all targets
   if (edge.guarantee == appmodel::Guarantee::kGapless) {
     // Replicate to every active actuator node and keep the command
     // pending until one of them acknowledges; the device's idempotence or
@@ -617,7 +677,9 @@ void RivuletProcess::retry_pending_commands() {
         pending.last_sent = sim_->now();
         std::vector<ProcessId> targets =
             actuator_targets(pending.payload.command.actuator);
-        net::Payload bytes = wire::encode(pending.payload);  // shared buffer
+        std::vector<std::byte> buf = wire::encode(pending.payload);
+        if (config_.integrity) wire::seal(buf, config_.integrity_key, 0);
+        net::Payload bytes = std::move(buf);  // shared buffer
         bool local = false;
         for (ProcessId p : targets) {
           if (p == self_) {
@@ -651,7 +713,14 @@ void RivuletProcess::submit_command_locally(AppState& app,
 }
 
 void RivuletProcess::handle_command(const net::Message& msg) {
-  wire::CommandPayload p = wire::decode_command_payload(msg.payload);
+  wire::CommandPayload p;
+  if (config_.integrity) {
+    wire::IntegrityTrailer tr;
+    if (!unseal(msg, &tr)) return;
+    p = wire::decode_command_payload(unseal_scratch_);
+  } else {
+    p = wire::decode_command_payload(msg.payload);
+  }
   auto ait = apps_.find(p.app);
   if (ait == apps_.end()) return;
   if (!bus_->actuator_in_range(self_, p.command.actuator)) return;
@@ -664,6 +733,34 @@ void RivuletProcess::handle_command(const net::Message& msg) {
     net_->endpoint(self_).send(msg.src, net::MsgType::kCommandAck,
                                wire::encode(ack));
   }
+}
+
+// --- tamper evidence -----------------------------------------------------------
+
+bool RivuletProcess::unseal(const net::Message& msg,
+                            wire::IntegrityTrailer* tr) {
+  if (wire::verify_and_strip(msg.payload, config_.integrity_key,
+                             unseal_scratch_, tr))
+    return true;
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kTamper,
+                trace::fs(trace::Key::kType, net::to_string(msg.type)),
+                trace::fp(trace::Key::kSrc, msg.src),
+                trace::fs(trace::Key::kText, "bad_mac"));
+  }
+  return false;
+}
+
+bool RivuletProcess::device_seq_seen(SensorId sensor,
+                                     std::uint32_t seq) const {
+  auto it = device_seqs_seen_.find(sensor);
+  return it != device_seqs_seen_.end() && it->second.count(seq) != 0;
+}
+
+std::size_t RivuletProcess::device_seqs_seen_count(SensorId sensor) const {
+  auto it = device_seqs_seen_.find(sensor);
+  return it == device_seqs_seen_.end() ? 0 : it->second.size();
 }
 
 // --- watermark gossip ---------------------------------------------------------

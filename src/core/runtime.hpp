@@ -66,6 +66,12 @@ class RivuletProcess {
   const GaplessStream* gapless_stream(AppId app, SensorId sensor) const;
   const GapStream* gap_stream(AppId app, SensorId sensor) const;
   EventLog* event_log(AppId app);
+  // Has this process ingested device event `seq` from `sensor`? Used by
+  // the Byzantine injector to pick replays the target has genuinely seen
+  // (a replay of a never-received event would be indistinguishable from a
+  // fresh delivery and is out of scope for the detector, see DESIGN §12).
+  bool device_seq_seen(SensorId sensor, std::uint32_t seq) const;
+  std::size_t device_seqs_seen_count(SensorId sensor) const;
   sim::StableStore& store() { return store_; }
   // Replicated application state shared by every app on this process
   // (extension; trigger handlers reach it via TriggerContext::put/get).
@@ -129,6 +135,10 @@ class RivuletProcess {
   void handle_sync_response(const net::Message& msg);
   void handle_command(const net::Message& msg);
   void handle_role_change(const net::Message& msg, bool promote);
+  // Integrity-armed receive gate: verify and strip the trailer into
+  // unseal_scratch_; emits a kTamper("bad_mac") record and returns false
+  // when the frame fails (the base decoders never see rejected bytes).
+  bool unseal(const net::Message& msg, wire::IntegrityTrailer* tr);
 
   // Execution service.
   std::size_t rank_of(const AppState& app, ProcessId p) const;
@@ -166,6 +176,10 @@ class RivuletProcess {
 
   sim::StableStore store_;  // survives crashes
   std::vector<std::shared_ptr<const appmodel::AppGraph>> deployed_;
+  // Integrity layer (survives crashes, like store_): per-origin device
+  // sequence history for replay detection, and the verify scratch buffer.
+  std::map<SensorId, std::set<std::uint32_t>> device_seqs_seen_;
+  std::vector<std::byte> unseal_scratch_;
 
   // Volatile state, torn down on crash.
   std::unique_ptr<sim::ProcessTimers> timers_;

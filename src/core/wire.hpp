@@ -95,4 +95,43 @@ CommandAck decode_command_ack(const std::vector<std::byte>& buf);
 std::optional<CommandAck> try_decode_command_ack(
     const std::vector<std::byte>& buf);
 
+// --- Tamper evidence: integrity trailer ----------------------------------
+// When the deployment's integrity layer is armed (Byzantine chaos), the
+// event-bearing payloads (kRingEvent, kRbEvent, kGapForward, kCommand)
+// carry trailing bytes appended after the base encoding — additive wire
+// evolution, exactly like the command `cause` append:
+//   marker 0x5A (1 B) | chain digest (8 B LE) | keyed MAC (8 B LE)
+// `chain` is the sender's per-origin hash-chained sequence digest (each
+// origin folds every emission into a rolling FNV-1a state, so a digest
+// commits to the entire emission history up to that event). `mac` is
+// FNV-1a over (key, body bytes, chain, body length) — a cheap keyed MAC
+// in the simulator's one-hash spirit: not cryptographic, but any
+// single-byte change to a sealed frame fails verification.
+//
+// Receivers that know integrity is armed REQUIRE the trailer: a frame
+// without it (or with any mismatching byte) is rejected before the base
+// decoder runs, so the strict consumed-exactly decoders never see the
+// trailer and the unsealed wire format is untouched.
+inline constexpr std::size_t kIntegrityTrailerBytes = 17;
+inline constexpr std::uint8_t kIntegrityMarker = 0x5A;
+
+struct IntegrityTrailer {
+  std::uint64_t chain{0};
+  std::uint64_t mac{0};
+};
+
+// The keyed MAC over a payload body and its chain digest.
+std::uint64_t compute_mac(std::uint64_t key, const std::byte* body,
+                          std::size_t n, std::uint64_t chain);
+
+// Append the integrity trailer to an encoded payload.
+void seal(std::vector<std::byte>& buf, std::uint64_t key,
+          std::uint64_t chain);
+
+// Verify a sealed payload and split it: on success the base bytes are
+// copied into `body` (capacity reused across calls) and the trailer into
+// `out`; returns false on short input, marker mismatch, or MAC mismatch.
+bool verify_and_strip(const std::vector<std::byte>& buf, std::uint64_t key,
+                      std::vector<std::byte>& body, IntegrityTrailer* out);
+
 }  // namespace riv::core::wire

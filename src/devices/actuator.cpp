@@ -69,7 +69,8 @@ void Actuator::apply(const Command& cmd) {
                 trace::fu(trace::Key::kAccepted, accepted ? 1 : 0),
                 trace::fu(trace::Key::kDup, duplicate ? 1 : 0));
   }
-  history_.push_back(Applied{cmd.id, cmd.value, sim_->now(), accepted});
+  history_.push_back(
+      Applied{cmd.id, cmd.value, sim_->now(), accepted, cmd.cause});
 }
 
 }  // namespace riv::devices

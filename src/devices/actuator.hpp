@@ -43,6 +43,7 @@ class Actuator {
     double value{0.0};
     TimePoint at{};
     bool accepted{false};
+    ProvenanceId cause{};  // the sensor reading the command reacted to
   };
 
   Actuator(sim::Simulation& sim, ActuatorSpec spec, Rng rng);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/hash.hpp"
 
 namespace riv::devices {
 namespace {
@@ -67,6 +68,21 @@ SensorEvent decode_event(BinaryReader& r) {
     e.value = read_quantized(r, e.payload_size);
   }
   return e;
+}
+
+std::uint64_t event_mac(std::uint64_t key, const SensorEvent& e) {
+  hash::Fnv1aStream h;
+  h.put(&key, sizeof key);
+  std::uint16_t sensor = e.id.sensor.value;
+  h.put(&sensor, sizeof sensor);
+  h.put(&e.id.seq, sizeof e.id.seq);
+  h.put(&e.epoch, sizeof e.epoch);
+  h.put(&e.emitted_at.us, sizeof e.emitted_at.us);
+  std::uint8_t flags = e.poll_based ? 1 : 0;
+  h.put(&flags, sizeof flags);
+  h.put(&e.value, sizeof e.value);
+  h.put(&e.chain, sizeof e.chain);
+  return h.value();
 }
 
 void encode(BinaryWriter& w, const Command& c) {

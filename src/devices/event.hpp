@@ -26,11 +26,27 @@ struct SensorEvent {
   double value{0.0};
   std::uint32_t payload_size{4};  // bytes of sensed payload on the wire
 
+  // Tamper evidence (in-memory only, NOT part of the 23-byte encoding —
+  // process-to-process hops carry them in the wire integrity trailer, so
+  // frame sizes and timing are untouched when integrity is off). `chain`
+  // is the origin's hash-chained sequence digest at this emission; `mac`
+  // authenticates the device->process radio hop. Both zero when the
+  // integrity layer is disarmed.
+  std::uint64_t chain{0};
+  std::uint64_t mac{0};
+
   std::size_t wire_size() const { return 23 + payload_size; }
 };
 
 void encode(BinaryWriter& w, const SensorEvent& e);
 SensorEvent decode_event(BinaryReader& r);
+
+// Keyed MAC authenticating the device->process radio hop of one event:
+// FNV-1a over (key, event id, epoch, emission time, flags, value bits,
+// chain). A forged event fails it; a replayed event passes it (the frame
+// is genuine) and is caught by the receiver's per-origin sequence history
+// instead.
+std::uint64_t event_mac(std::uint64_t key, const SensorEvent& e);
 
 // An actuation command produced by a logic node for one actuator.
 // Wire layout: command id (6 B) | actuator (2 B) | flags (1 B)

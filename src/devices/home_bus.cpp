@@ -96,6 +96,10 @@ void HomeBus::poll(ProcessId from, SensorId sensor_id,
   s.poll(from, epoch_tag);
 }
 
+void HomeBus::inject_event(ProcessId process, const SensorEvent& e) {
+  dispatch(process, e);
+}
+
 void HomeBus::actuate(ProcessId from, const Command& cmd) {
   Actuator& a = actuator(cmd.actuator);
   auto it = adapters_.find({from, a.spec().tech});

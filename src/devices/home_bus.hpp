@@ -52,6 +52,12 @@ class HomeBus {
   void poll(ProcessId from, SensorId sensor, std::uint32_t epoch_tag);
   void actuate(ProcessId from, const Command& cmd);
 
+  // Chaos-only injection hook: hand a (possibly forged or replayed)
+  // sensor event straight to `process`'s adapter, as if it had arrived
+  // over the radio. The Byzantine injector is the only caller — real
+  // devices always go through Sensor::transmit.
+  void inject_event(ProcessId process, const SensorEvent& e);
+
   // --- Access ---------------------------------------------------------
   Sensor& sensor(SensorId id);
   const Sensor& sensor(SensorId id) const;

@@ -131,6 +131,11 @@ void Sensor::emit_now() {
   if (!crashed_) emit(0, /*poll_based=*/false);
 }
 
+void Sensor::enable_integrity(std::uint64_t key) {
+  integrity_ = true;
+  integrity_key_ = key;
+}
+
 double Sensor::sample_value() {
   if (is_binary_kind(spec_.kind)) {
     // Alternate open/close, motion/clear — apps only care about edges.
@@ -177,13 +182,37 @@ void Sensor::emit(std::uint32_t epoch_tag, bool poll_based,
   e.poll_based = poll_based;
   e.value = sample_value();
   e.payload_size = spec_.payload_size;
+  if (integrity_) {
+    // Fold this emission into the per-origin hash chain; the digest
+    // commits to the full (seq, epoch, value) history up to this event.
+    chain_ = hash::fnv1a(chain_, &e.id.seq, sizeof e.id.seq);
+    chain_ = hash::fnv1a(chain_, &e.epoch, sizeof e.epoch);
+    chain_ = hash::fnv1a(chain_, &e.value, sizeof e.value);
+    e.chain = chain_;
+    e.mac = event_mac(integrity_key_, e);
+    if (recent_.size() < kRecentWindow) {
+      recent_.push_back(e);
+    } else {
+      recent_[recent_pos_] = e;
+      recent_pos_ = (recent_pos_ + 1) % kRecentWindow;
+    }
+  }
   ++events_emitted_;
   if (trace::active(trace::Component::kDevice)) {
-    trace::emit(sim_->now(), poll_based ? poll_target : ProcessId{0},
-                trace::Component::kDevice, trace::Kind::kEmit,
-                provenance_of(e.id), trace::fe(trace::Key::kEvent, e.id),
-                trace::fu(trace::Key::kEpoch, e.epoch),
-                trace::fu(trace::Key::kPoll, poll_based ? 1 : 0));
+    if (integrity_) {
+      trace::emit(sim_->now(), poll_based ? poll_target : ProcessId{0},
+                  trace::Component::kDevice, trace::Kind::kEmit,
+                  provenance_of(e.id), trace::fe(trace::Key::kEvent, e.id),
+                  trace::fu(trace::Key::kEpoch, e.epoch),
+                  trace::fu(trace::Key::kPoll, poll_based ? 1 : 0),
+                  trace::fu(trace::Key::kChain, e.chain));
+    } else {
+      trace::emit(sim_->now(), poll_based ? poll_target : ProcessId{0},
+                  trace::Component::kDevice, trace::Kind::kEmit,
+                  provenance_of(e.id), trace::fe(trace::Key::kEvent, e.id),
+                  trace::fu(trace::Key::kEpoch, e.epoch),
+                  trace::fu(trace::Key::kPoll, poll_based ? 1 : 0));
+    }
   }
 
   if (poll_based) {

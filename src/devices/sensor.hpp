@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "devices/adapters.hpp"
 #include "devices/event.hpp"
@@ -129,6 +130,16 @@ class Sensor {
   // Test hook: emit one push event immediately.
   void emit_now();
 
+  // --- Tamper evidence (Byzantine chaos) -----------------------------
+  // Arm the integrity layer: every emission folds into the per-origin
+  // hash chain, carries a keyed MAC for the radio hop, and is retained
+  // in a small recent-emissions window (the injection source for replay
+  // attacks). Disarmed sensors emit with chain == mac == 0 and keep no
+  // window, so the default path is untouched.
+  void enable_integrity(std::uint64_t key);
+  bool integrity_enabled() const { return integrity_; }
+  const std::vector<SensorEvent>& recent_events() const { return recent_; }
+
   // Statistics.
   std::uint64_t events_emitted() const { return events_emitted_; }
   std::uint64_t polls_received() const { return polls_received_; }
@@ -160,6 +171,13 @@ class Sensor {
   bool busy_{false};
   std::uint32_t next_seq_{1};
   int burst_remaining_{0};
+
+  static constexpr std::size_t kRecentWindow = 64;
+  bool integrity_{false};
+  std::uint64_t integrity_key_{0};
+  std::uint64_t chain_{hash::kFnvOffsetBasis};
+  std::vector<SensorEvent> recent_;
+  std::size_t recent_pos_{0};
 
   std::uint64_t events_emitted_{0};
   std::uint64_t polls_received_{0};

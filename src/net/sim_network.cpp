@@ -247,6 +247,21 @@ Duration SimNetwork::frame_delay(std::size_t bytes) {
 void SimNetwork::send_frame(Message msg) {
   int s = index_of(msg.src);  // senders are registered (they have an endpoint)
   if (s < 0 || !procs_[s].up) return;  // a dead process sends nothing
+  if (interposer_) {
+    // Byzantine hook: a compromised host may mutate the frame in place,
+    // eat it, or forward extra copies — all before the air sees it.
+    int copies = interposer_(msg);
+    if (copies <= 0) {
+      trace_frame(*sim_, trace::Kind::kDrop, msg, "byzantine");
+      return;
+    }
+    for (int i = 1; i < copies; ++i) transmit(msg);
+  }
+  transmit(std::move(msg));
+}
+
+void SimNetwork::transmit(Message msg) {
+  int s = index_of(msg.src);
   if (!reachable(msg.src, msg.dst)) {  // TCP reset: frame lost
     trace_frame(*sim_, trace::Kind::kDrop, msg, "unreachable");
     return;

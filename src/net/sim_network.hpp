@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <vector>
@@ -93,6 +94,16 @@ class SimNetwork {
   void set_edge_loss(ProcessId src, ProcessId dst, double loss_prob);
   void clear_edge_overrides();
 
+  // --- Byzantine interposer (chaos engine) ---------------------------
+  // Consulted once per frame, after the source-liveness check and before
+  // the frame touches the air. The hook may rewrite the message in place
+  // (payload mutation at a compromised host) and returns how many copies
+  // to transmit: 0 eats the frame (traced as a "byzantine" drop), 1
+  // passes it through, 2 forwards a duplicate. The chaos injector is the
+  // only installer, so fault injection stays in one place.
+  using Interposer = std::function<int(Message&)>;
+  void set_interposer(Interposer fn) { interposer_ = std::move(fn); }
+
   // Number of processes currently up (drives the congestion term).
   int up_count() const { return up_count_; }
 
@@ -133,6 +144,7 @@ class SimNetwork {
   }
 
   void send_frame(Message msg);
+  void transmit(Message msg);
   Duration frame_delay(std::size_t bytes);
 
   sim::Simulation* sim_;
@@ -152,6 +164,7 @@ class SimNetwork {
 
   TypeCounters type_counters_[16];
   std::size_t in_flight_{0};
+  Interposer interposer_;
 };
 
 }  // namespace riv::net

@@ -85,8 +85,9 @@ enum class Key : std::uint8_t {
   kOp = 20,       // "op"      kStr   logic operator name
   kFaultId = 21,  // "id"      kU64   chaos fault sequence number
   kSrcName = 22,  // "src"     kStr   ingest source tag (device|ring|rb|..)
+  kChain = 23,    // "chain"   kU64   per-origin hash-chain digest
 };
-inline constexpr int kKeyCount = 23;
+inline constexpr int kKeyCount = 24;
 
 struct KeyInfo {
   const char* name;
@@ -116,6 +117,7 @@ inline constexpr KeyInfo kKeyTable[kKeyCount] = {
     {"op", VType::kStr},        // kOp
     {"id", VType::kU64},        // kFaultId
     {"src", VType::kStr},       // kSrcName
+    {"chain", VType::kU64},     // kChain
 };
 
 // --- varint primitives ---------------------------------------------------

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <string_view>
+#include <tuple>
 #include <utility>
 
 namespace riv::trace {
@@ -524,6 +525,358 @@ CheckResult check(const Analysis& a) {
   }
   for (const std::string& v : a.ordering_violations)
     r.problems.push_back("stage ordering: " + v);
+  r.ok = r.problems.empty();
+  return r;
+}
+
+// --- Byzantine integrity audit ------------------------------------------
+
+namespace {
+
+// The kText field renders bare (no "name=" prefix), so the attack /
+// verdict word is the one token without '=' in a canonical detail string.
+std::string_view bare_text(std::string_view detail) {
+  std::size_t pos = 0;
+  while (pos < detail.size()) {
+    std::size_t end = detail.find(' ', pos);
+    if (end == std::string_view::npos) end = detail.size();
+    std::string_view token = detail.substr(pos, end - pos);
+    if (!token.empty() && token.find('=') == std::string_view::npos)
+      return token;
+    pos = end + 1;
+  }
+  return {};
+}
+
+// "pN" -> N (0 when absent/malformed).
+std::uint64_t parse_pid(std::string_view s) {
+  if (s.size() < 2 || s[0] != 'p') return 0;
+  return parse_u64(s.substr(1));
+}
+
+// A ground-truth kByzantine marker, fields parsed once.
+struct Marker {
+  std::int64_t at{0};
+  std::uint64_t fault_id{0};
+  std::string what;        // spoof|replay|mutate|dup|drop
+  ProvenanceId prov{};     // device attacks (spoof/replay)
+  std::string type;        // net attacks (mutate/dup/drop)
+  std::uint64_t src{0};
+  std::uint64_t dst{0};
+};
+
+// A runtime kTamper verdict awaiting attribution.
+struct TamperRec {
+  std::int64_t at{0};
+  std::uint64_t process{0};  // the rejecting process
+  std::string what;          // spoof|replay|bad_mac
+  ProvenanceId prov{};       // spoof/replay
+  std::string type;          // bad_mac
+  std::uint64_t src{0};      // bad_mac
+  bool used{false};
+};
+
+// One network-layer record for a frame: a transmitted copy (kSend or an
+// at-send kDrop) or a loss/byzantine drop.
+struct NetRec {
+  std::int64_t at{0};
+  bool is_drop{false};
+  std::string reason;  // empty for kSend
+  bool used{false};
+};
+
+std::string fmt_at(std::int64_t us) { return "t=" + fmt_s(us); }
+
+}  // namespace
+
+Audit audit(const std::vector<Record>& records) {
+  Audit a;
+  a.n_records = records.size();
+
+  std::vector<Marker> markers;
+  std::vector<TamperRec> tampers;
+  // Byzantine drops and per-frame transmission records, keyed by the
+  // frame tuple. Vectors stay time-ordered (records are).
+  using FrameKey = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+  std::map<FrameKey, std::vector<NetRec>> frames;
+
+  for (const Record& r : records) {
+    if (r.kind == Kind::kByzantine) {
+      Marker m;
+      m.at = r.at.us;
+      m.fault_id = parse_u64(detail_value(r.detail, "id"));
+      m.what = std::string(bare_text(r.detail));
+      m.prov = r.prov;
+      m.type = std::string(detail_value(r.detail, "type"));
+      m.src = parse_pid(detail_value(r.detail, "src"));
+      m.dst = parse_pid(detail_value(r.detail, "dst"));
+      markers.push_back(std::move(m));
+    } else if (r.kind == Kind::kTamper) {
+      TamperRec t;
+      t.at = r.at.us;
+      t.process = r.process.value;
+      t.what = std::string(bare_text(r.detail));
+      t.prov = r.prov;
+      t.type = std::string(detail_value(r.detail, "type"));
+      t.src = parse_pid(detail_value(r.detail, "src"));
+      tampers.push_back(std::move(t));
+    } else if (r.component == Component::kNet &&
+               (r.kind == Kind::kSend || r.kind == Kind::kDrop)) {
+      std::string type(detail_value(r.detail, "type"));
+      if (type.empty()) continue;
+      NetRec n;
+      n.at = r.at.us;
+      n.is_drop = r.kind == Kind::kDrop;
+      if (n.is_drop) n.reason = std::string(detail_value(r.detail, "reason"));
+      frames[{std::move(type), parse_pid(detail_value(r.detail, "src")),
+              parse_pid(detail_value(r.detail, "dst"))}]
+          .push_back(std::move(n));
+    }
+  }
+
+  a.attacks = markers.size();
+
+  // Match each marker greedily in trace order, consuming evidence so N
+  // identical attacks demand N independent pieces of evidence. Mutates
+  // are only classified here; their evidence is resolved in a second
+  // pass below, which needs the full per-key marker set at once.
+  std::map<FrameKey, std::vector<std::size_t>> mutate_idx;
+  for (const Marker& m : markers) {
+    AuditFinding f;
+    f.fault_id = m.fault_id;
+    f.at_us = m.at;
+
+    auto claim_tamper = [&](const char* verdict,
+                            auto&& match) -> TamperRec* {
+      for (TamperRec& t : tampers) {
+        if (t.used || t.what != verdict || t.at < m.at) continue;
+        if (!match(t)) continue;
+        t.used = true;
+        return &t;
+      }
+      return nullptr;
+    };
+
+    if (m.what == "spoof" || m.what == "replay") {
+      f.cls = m.what == "spoof" ? "forged_origin" : "replayed_seq";
+      f.attack = m.what + " of " + riv::to_string(m.prov) + " -> p" +
+                 std::to_string(m.dst);
+      // Device dispatch is synchronous: the verdict lands at the marker
+      // instant, at the targeted process, for that exact event.
+      if (TamperRec* t = claim_tamper(m.what.c_str(), [&](const TamperRec& t) {
+            return t.process == m.dst && t.prov == m.prov;
+          })) {
+        f.detected = true;
+        f.evidence = "rejected by p" + std::to_string(t->process) + " (" +
+                     t->what + ", " + fmt_at(t->at) + ")";
+      }
+    } else if (m.what == "mutate") {
+      f.cls = "mutated_payload";
+      f.attack = "mutate " + m.type + " p" + std::to_string(m.src) + " -> p" +
+                 std::to_string(m.dst);
+      mutate_idx[{m.type, m.src, m.dst}].push_back(a.findings.size());
+    } else if (m.what == "dup") {
+      f.cls = "duplicated_forward";
+      f.attack = "duplicate " + m.type + " p" + std::to_string(m.src) +
+                 " -> p" + std::to_string(m.dst);
+      // Each transmitted copy logs exactly one at-send record (kSend, or
+      // kDrop unreachable/edge_loss) at the marker instant; two copies on
+      // the wire is the attack's network-visible signature.
+      auto it = frames.find({m.type, m.src, m.dst});
+      std::size_t copies = 0;
+      if (it != frames.end()) {
+        for (NetRec& n : it->second) {
+          if (n.used || n.at != m.at) continue;
+          if (n.is_drop && n.reason != "edge_loss" &&
+              n.reason != "unreachable")
+            continue;
+          n.used = true;
+          if (++copies == 2) break;
+        }
+      }
+      if (copies >= 2) {
+        f.detected = true;
+        f.evidence = "2 copies on the air at " + fmt_at(m.at);
+      }
+    } else if (m.what == "drop") {
+      f.cls = "dropped_by_corrupt_host";
+      f.attack = "drop " + m.type + " p" + std::to_string(m.src) + " -> p" +
+                 std::to_string(m.dst);
+      auto it = frames.find({m.type, m.src, m.dst});
+      if (it != frames.end()) {
+        for (NetRec& n : it->second) {
+          if (n.used || !n.is_drop || n.at != m.at ||
+              n.reason != "byzantine")
+            continue;
+          n.used = true;
+          f.detected = true;
+          f.evidence = "kDrop reason=byzantine at " + fmt_at(n.at);
+          break;
+        }
+      }
+    } else {
+      f.cls = "unknown_attack";
+      f.attack = m.what;
+    }
+
+    a.findings.push_back(std::move(f));
+  }
+
+  // Resolve mutate markers per frame key. A bad_mac verdict can ONLY
+  // come from a mutated frame (a genuinely sealed frame never fails the
+  // MAC), so every verdict belongs to some marker — assign each verdict
+  // to the LATEST still-open marker at or before it. Assigning earliest-
+  // first instead would let a marker whose frame died in the network
+  // swallow a verdict belonging to a later attack, whose own loss drops
+  // all lie in the past — misreporting a detected attack as missed.
+  for (auto& [key, idxs] : mutate_idx) {
+    for (TamperRec& t : tampers) {
+      if (t.used || t.what != "bad_mac") continue;
+      if (t.process != std::get<2>(key) || t.src != std::get<1>(key) ||
+          t.type != std::get<0>(key))
+        continue;
+      std::size_t* best = nullptr;
+      for (std::size_t& i : idxs) {
+        if (a.findings[i].detected || a.findings[i].lost) continue;
+        if (a.findings[i].at_us > t.at) break;  // idxs are time-ordered
+        best = &i;
+      }
+      if (best == nullptr) continue;  // leave unattributed
+      t.used = true;
+      AuditFinding& f = a.findings[*best];
+      f.detected = true;
+      f.evidence = "bad_mac rejected by p" + std::to_string(t.process) +
+                   " (" + fmt_at(t.at) + ")";
+    }
+    // Markers with no verdict: the frame must have died in the simulated
+    // network before reaching a receive gate. Claim the matching drop.
+    auto fit = frames.find(key);
+    for (std::size_t i : idxs) {
+      AuditFinding& f = a.findings[i];
+      if (f.detected || fit == frames.end()) continue;
+      for (NetRec& n : fit->second) {
+        if (n.used || !n.is_drop || n.at < f.at_us) continue;
+        if (n.reason != "edge_loss" && n.reason != "unreachable" &&
+            n.reason != "in_flight")
+          continue;
+        n.used = true;
+        f.lost = true;
+        f.evidence = "frame lost in network (" + n.reason + ", " +
+                     fmt_at(n.at) + ")";
+        break;
+      }
+    }
+  }
+
+  for (const AuditFinding& f : a.findings) {
+    if (f.detected) {
+      ++a.detected;
+      ++a.by_class[f.cls];
+    } else if (f.lost) {
+      ++a.lost;
+    } else {
+      ++a.missed;
+    }
+  }
+
+  // Whatever detector evidence is left matched no injected attack.
+  for (const TamperRec& t : tampers) {
+    if (t.used) continue;
+    std::string d = "tamper " + t.what + " at p" + std::to_string(t.process) +
+                    " (" + fmt_at(t.at) + ")";
+    if (t.prov.valid()) d += " event " + riv::to_string(t.prov);
+    if (!t.type.empty())
+      d += " frame " + t.type + " from p" + std::to_string(t.src);
+    a.unattributed.push_back(std::move(d));
+  }
+  for (const auto& [key, recs] : frames) {
+    for (const NetRec& n : recs) {
+      if (n.used || !n.is_drop || n.reason != "byzantine") continue;
+      a.unattributed.push_back(
+          "kDrop reason=byzantine " + std::get<0>(key) + " p" +
+          std::to_string(std::get<1>(key)) + " -> p" +
+          std::to_string(std::get<2>(key)) + " (" + fmt_at(n.at) + ")");
+    }
+  }
+  return a;
+}
+
+std::string render(const Audit& a) {
+  std::string out = "== integrity audit ==\n";
+  out += "records:  " + std::to_string(a.n_records) + "\n";
+  out += "attacks:  " + std::to_string(a.attacks) + " injected; " +
+         std::to_string(a.detected) + " detected, " +
+         std::to_string(a.lost) + " lost in network, " +
+         std::to_string(a.missed) + " missed\n";
+  if (!a.by_class.empty()) {
+    out += "by class:\n";
+    for (const auto& [cls, n] : a.by_class)
+      out += "  " + cls + ": " + std::to_string(n) + "\n";
+  }
+  for (const AuditFinding& f : a.findings) {
+    out += "[" + f.cls + "] fault id=" + std::to_string(f.fault_id) + " " +
+           fmt_at(f.at_us) + ": " + f.attack + "\n";
+    if (f.detected || f.lost)
+      out += "    " + f.evidence + "\n";
+    else
+      out += "    MISSED: no detector evidence in trace\n";
+  }
+  if (!a.unattributed.empty()) {
+    out += "unattributed detector evidence (" +
+           std::to_string(a.unattributed.size()) + "):\n";
+    for (const std::string& u : a.unattributed) out += "  " + u + "\n";
+  }
+  out += a.all_accounted()
+             ? "verdict:  all attacks accounted for\n"
+             : "verdict:  AUDIT FAILED\n";
+  return out;
+}
+
+std::string render_json(const Audit& a) {
+  std::string out = "{";
+  out += "\"records\":" + std::to_string(a.n_records);
+  out += ",\"attacks\":" + std::to_string(a.attacks);
+  out += ",\"detected\":" + std::to_string(a.detected);
+  out += ",\"lost\":" + std::to_string(a.lost);
+  out += ",\"missed\":" + std::to_string(a.missed);
+  out += ",\"by_class\":{";
+  bool first = true;
+  for (const auto& [cls, n] : a.by_class) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(cls) + "\":" + std::to_string(n);
+  }
+  out += "},\"findings\":[";
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    const AuditFinding& f = a.findings[i];
+    if (i > 0) out += ',';
+    out += "{\"class\":\"" + json_escape(f.cls) + "\"";
+    out += ",\"fault_id\":" + std::to_string(f.fault_id);
+    out += ",\"at_us\":" + std::to_string(f.at_us);
+    out += ",\"attack\":\"" + json_escape(f.attack) + "\"";
+    out += ",\"detected\":" + std::string(f.detected ? "true" : "false");
+    out += ",\"lost\":" + std::string(f.lost ? "true" : "false");
+    out += ",\"evidence\":\"" + json_escape(f.evidence) + "\"}";
+  }
+  out += "],\"unattributed\":[";
+  for (std::size_t i = 0; i < a.unattributed.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + json_escape(a.unattributed[i]) + '"';
+  }
+  out += "],\"ok\":" + std::string(a.all_accounted() ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+CheckResult check(const Audit& a) {
+  CheckResult r;
+  for (const AuditFinding& f : a.findings) {
+    if (f.detected || f.lost) continue;
+    r.problems.push_back("undetected attack: [" + f.cls + "] fault id=" +
+                         std::to_string(f.fault_id) + " " + f.attack);
+  }
+  for (const std::string& u : a.unattributed)
+    r.problems.push_back("unattributed detector evidence: " + u);
   r.ok = r.problems.empty();
   return r;
 }

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -167,5 +168,69 @@ struct CheckResult {
   std::vector<std::string> problems;
 };
 CheckResult check(const Analysis& a);
+
+// --- Byzantine integrity audit (DESIGN §12) -----------------------------
+//
+// The chaos injector stamps every attack it performs with a ground-truth
+// kByzantine marker carrying the fault id. The audit walks the trace and
+// demands that every marker is accounted for by detector evidence:
+//
+//   spoof  -> a runtime kTamper("spoof")  rejecting that exact event at
+//             the targeted process (MAC over all fields + origin chain);
+//   replay -> a runtime kTamper("replay") for that event/process (the
+//             per-origin seq history refuses the repeat);
+//   mutate -> a kTamper("bad_mac") at the destination for that
+//             (type, src) frame — or, when the simulated network ate the
+//             frame first, the matching kDrop record (classed `lost`, not
+//             missed: the attack never reached a detector);
+//   dup    -> >= 2 network records for the (type, src, dst) frame at the
+//             marker instant (each transmitted copy logs exactly one);
+//   drop   -> the kDrop reason=byzantine record the network logs when the
+//             interposer eats a frame.
+//
+// Evidence is consumed greedily in time order, so N attacks need N pieces
+// of evidence. Detector records left over after matching (a kTamper or
+// byzantine kDrop with no marker) are reported as unattributed — on a
+// clean non-adversarial trace both sides are empty by construction, which
+// is what CI's golden audit asserts.
+
+// One injected attack (ground-truth marker) and what the audit found.
+struct AuditFinding {
+  // forged_origin | replayed_seq | mutated_payload | duplicated_forward |
+  // dropped_by_corrupt_host
+  std::string cls;
+  std::uint64_t fault_id{0};
+  std::int64_t at_us{0};   // when the attack was performed
+  std::string attack;      // human description of the injected attack
+  std::string evidence;    // matched trace evidence (empty when missed)
+  bool detected{false};    // an integrity detector rejected/witnessed it
+  bool lost{false};        // frame provably died in the network first
+};
+
+struct Audit {
+  std::size_t n_records{0};
+  std::size_t attacks{0};               // ground-truth markers seen
+  std::vector<AuditFinding> findings;   // one per marker, trace order
+  std::size_t detected{0};
+  std::size_t lost{0};
+  std::size_t missed{0};                // neither detected nor lost
+  // Per-class detected counts, keyed by AuditFinding::cls.
+  std::map<std::string, std::size_t> by_class;
+  // Detector evidence that matched no marker (must be empty: a tamper
+  // verdict with no injected cause is either a false positive or an
+  // attack the harness does not know about).
+  std::vector<std::string> unattributed;
+  bool all_accounted() const { return missed == 0 && unattributed.empty(); }
+};
+
+// Match every kByzantine marker against detector evidence in the trace.
+Audit audit(const std::vector<Record>& records);
+
+std::string render(const Audit& a);
+std::string render_json(const Audit& a);
+
+// CI verdict: every injected attack accounted for (detected or provably
+// lost in the network) and no unattributed detector evidence.
+CheckResult check(const Audit& a);
 
 }  // namespace riv::trace

@@ -47,6 +47,8 @@ const char* to_string(Kind k) {
     case Kind::kActuated: return "actuated";
     case Kind::kCrash: return "crash";
     case Kind::kRecover: return "recover";
+    case Kind::kTamper: return "tamper";
+    case Kind::kByzantine: return "byzantine";
   }
   return "unknown";
 }

@@ -85,8 +85,12 @@ enum class Kind : std::uint8_t {
   kActuated = 18,   // actuator applied a command
   kCrash = 19,      // process crashed
   kRecover = 20,    // process recovered
+  kTamper = 21,     // integrity check rejected a frame/event (bad MAC,
+                    // forged origin, replayed sequence)
+  kByzantine = 22,  // chaos injector performed a Byzantine attack
+                    // (ground-truth marker for the integrity audit)
 };
-inline constexpr int kKindCount = 21;
+inline constexpr int kKindCount = 23;
 const char* to_string(Kind k);
 
 // The decoded view of one record. The packed arena is the source of

@@ -92,6 +92,7 @@ class HomeDeployment {
 
   net::SimNetwork& net() { return net_; }
   devices::HomeBus& bus() { return bus_; }
+  const core::Config& config() const { return config_; }
   core::RivuletProcess& process(ProcessId p);
   core::RivuletProcess& process(int index) { return process(pid(index)); }
 

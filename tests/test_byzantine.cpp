@@ -1,0 +1,119 @@
+// Byzantine chaos end-to-end: defended runs stay invariant-clean and the
+// integrity audit accounts for every injected attack; an undefended run
+// with the identical attacker demonstrably mis-actuates.
+//
+// These tests close the loop the DESIGN §12 threat model promises:
+//   injector ground truth (kByzantine markers)  ==  detector evidence
+// with zero false positives on a non-adversarial run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/engine.hpp"
+#include "trace/provenance.hpp"
+
+namespace riv {
+namespace {
+
+chaos::EngineOptions byzantine_options(std::uint64_t seed) {
+  chaos::EngineOptions opt;
+  opt.scenario.seed = seed;
+  opt.plan.horizon = seconds(45);
+  opt.plan.spoof_events = true;
+  opt.plan.replay_events = true;
+  opt.plan.corrupt_process = true;
+  opt.flight = true;  // the audit reads the flight-recorder trace
+  return opt;
+}
+
+TEST(ByzantineTest, DefendedRunStaysCleanUnderAttack) {
+  chaos::ChaosResult r = chaos::ChaosEngine(byzantine_options(9)).run();
+
+  EXPECT_TRUE(r.quiesced);
+  for (const chaos::Violation& v : r.violations)
+    ADD_FAILURE() << chaos::to_string(v);
+  EXPECT_GT(r.byzantine_attacks, 0u) << "attacker never fired";
+  EXPECT_GT(r.delivered, 0u);
+}
+
+TEST(ByzantineTest, AuditAccountsForEveryInjectedAttack) {
+  chaos::ChaosResult r = chaos::ChaosEngine(byzantine_options(9)).run();
+  ASSERT_TRUE(r.flight != nullptr);
+
+  trace::Audit au = trace::audit(r.flight->records());
+  EXPECT_EQ(au.attacks, r.byzantine_attacks)
+      << "every performed attack must leave a ground-truth marker";
+  EXPECT_GT(au.attacks, 0u);
+  EXPECT_EQ(au.missed, 0u) << trace::render(au);
+  EXPECT_TRUE(au.unattributed.empty()) << trace::render(au);
+  EXPECT_TRUE(au.all_accounted());
+  EXPECT_EQ(au.detected + au.lost, au.attacks);
+
+  // Every finding is classified and attributed to a concrete fault id.
+  for (const trace::AuditFinding& f : au.findings) {
+    EXPECT_FALSE(f.cls.empty());
+    EXPECT_GT(f.fault_id, 0u) << f.attack;
+    EXPECT_FALSE(f.evidence.empty()) << f.attack;
+  }
+}
+
+// Crash faults alongside the attacker exercise the `lost` accounting
+// path: frames mutated in flight toward a down host die in the network
+// before any detector sees them, and the audit must prove that instead
+// of reporting a miss.
+TEST(ByzantineTest, AuditAccountsForAttacksLostToCrashes) {
+  chaos::EngineOptions opt = byzantine_options(1);
+  opt.plan.crashes = true;
+  chaos::ChaosResult r = chaos::ChaosEngine(opt).run();
+  ASSERT_TRUE(r.flight != nullptr);
+
+  for (const chaos::Violation& v : r.violations)
+    ADD_FAILURE() << chaos::to_string(v);
+  trace::Audit au = trace::audit(r.flight->records());
+  EXPECT_GT(au.attacks, 0u);
+  EXPECT_TRUE(au.all_accounted()) << trace::render(au);
+  EXPECT_EQ(au.detected + au.lost, au.attacks);
+}
+
+// Same attacker, verification disarmed: the spoofed events sail through
+// and the home actuates on fabricated provenance — the no-forged-actuation
+// invariant must catch it. This is the control experiment proving the
+// defended runs pass because of the integrity layer, not because the
+// attacks were harmless.
+TEST(ByzantineTest, UndefendedRunActuatesOnForgedEvents) {
+  chaos::EngineOptions opt;
+  opt.scenario.seed = 9;
+  opt.plan.horizon = seconds(45);
+  opt.plan.spoof_events = true;
+  opt.byzantine_defense = false;
+  chaos::ChaosResult r = chaos::ChaosEngine(opt).run();
+
+  bool forged = false;
+  for (const chaos::Violation& v : r.violations)
+    if (v.invariant == "no-forged-actuation") forged = true;
+  EXPECT_TRUE(forged)
+      << "expected a forged actuation without the defense; got "
+      << r.violations.size() << " violation(s)";
+}
+
+// Zero false positives: a run with no Byzantine categories armed audits
+// to zero attacks and zero unattributed evidence (the CI golden gate).
+TEST(ByzantineTest, NonAdversarialRunAuditsToZero) {
+  chaos::EngineOptions opt;
+  opt.scenario.seed = 3;
+  opt.plan.horizon = seconds(45);
+  opt.flight = true;
+  chaos::ChaosResult r = chaos::ChaosEngine(opt).run();
+  ASSERT_TRUE(r.flight != nullptr);
+
+  EXPECT_EQ(r.byzantine_attacks, 0u);
+  trace::Audit au = trace::audit(r.flight->records());
+  EXPECT_EQ(au.attacks, 0u);
+  EXPECT_EQ(au.findings.size(), 0u);
+  EXPECT_TRUE(au.unattributed.empty());
+  EXPECT_TRUE(au.all_accounted());
+}
+
+}  // namespace
+}  // namespace riv

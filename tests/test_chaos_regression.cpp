@@ -15,9 +15,14 @@
 #include <vector>
 
 #include "chaos/engine.hpp"
+#include "trace/provenance.hpp"
 
 #ifndef RIV_CHAOS_SEEDS_FILE
 #error "RIV_CHAOS_SEEDS_FILE must point at tests/seeds.txt"
+#endif
+#ifndef RIV_CHAOS_SEEDS_BYZANTINE_FILE
+#error \
+    "RIV_CHAOS_SEEDS_BYZANTINE_FILE must point at tests/seeds_byzantine.txt"
 #endif
 
 namespace riv {
@@ -29,9 +34,9 @@ struct CorpusEntry {
   std::int64_t horizon_s{45};
 };
 
-std::vector<CorpusEntry> load_corpus() {
-  std::ifstream f(RIV_CHAOS_SEEDS_FILE);
-  EXPECT_TRUE(f.good()) << "cannot open " << RIV_CHAOS_SEEDS_FILE;
+std::vector<CorpusEntry> load_corpus(const char* path = RIV_CHAOS_SEEDS_FILE) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
   std::vector<CorpusEntry> out;
   std::string line;
   while (std::getline(f, line)) {
@@ -76,6 +81,66 @@ TEST(ChaosRegressionTest, EverySeedInCorpusRunsClean) {
 
     // Replay determinism: the same seed must reproduce the same fault
     // trace and end state, or the corpus is not a regression oracle.
+    chaos::ChaosResult r2 = chaos::ChaosEngine(opt).run();
+    EXPECT_EQ(r.trace_hash, r2.trace_hash)
+        << "seed " << e.seed << " (" << g << ") is nondeterministic";
+  }
+}
+
+// --- Byzantine corpus ----------------------------------------------------
+// tests/seeds_byzantine.txt replays with the attacker armed against the
+// defended home: invariants stay clean, the run quiesces, the replay is
+// deterministic, AND the integrity audit accounts for 100% of the
+// injected attacks with no unattributed detector evidence.
+
+chaos::EngineOptions byzantine_options(const CorpusEntry& e) {
+  chaos::EngineOptions opt;
+  opt.scenario.seed = e.seed;
+  opt.scenario.guarantee = e.guarantee;
+  opt.plan.horizon = seconds(e.horizon_s);
+  // Mirror of `--kinds crash,spoof-event,replay-event,corrupt-begin`
+  // (the kind set seeds_byzantine.txt documents).
+  opt.plan.crashes = true;
+  opt.plan.spoof_events = true;
+  opt.plan.replay_events = true;
+  opt.plan.corrupt_process = true;
+  opt.flight = true;
+  return opt;
+}
+
+TEST(ChaosRegressionTest, ByzantineCorpusIsNonTrivial) {
+  std::vector<CorpusEntry> corpus =
+      load_corpus(RIV_CHAOS_SEEDS_BYZANTINE_FILE);
+  EXPECT_GE(corpus.size(), 5u);
+}
+
+TEST(ChaosRegressionTest, ByzantineCorpusRunsCleanAndFullyAudited) {
+  for (const CorpusEntry& e : load_corpus(RIV_CHAOS_SEEDS_BYZANTINE_FILE)) {
+    chaos::EngineOptions opt = byzantine_options(e);
+    chaos::ChaosResult r = chaos::ChaosEngine(opt).run();
+
+    const char* g =
+        e.guarantee == appmodel::Guarantee::kGap ? "gap" : "gapless";
+    const std::string repro =
+        "chaos_run --seed " + std::to_string(e.seed) + " --guarantee " + g +
+        " --duration " + std::to_string(e.horizon_s) +
+        " --kinds crash,spoof-event,replay-event,corrupt-begin";
+    EXPECT_TRUE(r.quiesced)
+        << "seed " << e.seed << " did not quiesce\n  repro: " << repro;
+    for (const chaos::Violation& v : r.violations)
+      ADD_FAILURE() << "seed " << e.seed << " (" << g
+                    << "): " << chaos::to_string(v)
+                    << "\n  repro: " << repro;
+    EXPECT_GT(r.byzantine_attacks, 0u)
+        << "seed " << e.seed << " injected no attacks; corpus entry stale";
+
+    ASSERT_TRUE(r.flight != nullptr);
+    trace::Audit au = trace::audit(r.flight->records());
+    EXPECT_EQ(au.attacks, r.byzantine_attacks) << "seed " << e.seed;
+    EXPECT_TRUE(au.all_accounted())
+        << "seed " << e.seed << " audit failure\n"
+        << trace::render(au) << "  repro: " << repro << " --trace";
+
     chaos::ChaosResult r2 = chaos::ChaosEngine(opt).run();
     EXPECT_EQ(r.trace_hash, r2.trace_hash)
         << "seed " << e.seed << " (" << g << ") is nondeterministic";

@@ -209,6 +209,110 @@ TEST(WireFuzzTest, CommandAckRoundTripsAndRejectsTruncation) {
   }
 }
 
+// --- Integrity trailer (seal / verify_and_strip) -------------------------
+
+TEST(WireFuzzTest, SealedFrameRoundTripsBodyAndTrailer) {
+  Rng rng(8);
+  for (int i = 0; i < kRounds; ++i) {
+    EventPayload p;
+    p.app = AppId{static_cast<std::uint16_t>(1 + rng.next() % 8)};
+    p.sensor = SensorId{static_cast<std::uint16_t>(1 + rng.next() % 16)};
+    p.event = random_event(rng);
+    std::vector<std::byte> base = encode_event_payload(p);
+
+    std::uint64_t key = rng.next();
+    std::uint64_t chain = rng.next();
+    std::vector<std::byte> sealed = base;
+    seal(sealed, key, chain);
+    ASSERT_EQ(sealed.size(), base.size() + kIntegrityTrailerBytes);
+
+    std::vector<std::byte> body;
+    IntegrityTrailer tr;
+    ASSERT_TRUE(verify_and_strip(sealed, key, body, &tr));
+    EXPECT_EQ(body, base);
+    EXPECT_EQ(tr.chain, chain);
+    EXPECT_EQ(tr.mac, compute_mac(key, base.data(), base.size(), chain));
+
+    // The stripped body decodes back to the original payload.
+    std::optional<EventPayload> q = try_decode_event_payload(body);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->app, p.app);
+    EXPECT_EQ(q->sensor, p.sensor);
+    expect_event_eq(q->event, p.event);
+  }
+}
+
+// The tamper-evidence property the Byzantine defense rests on: ANY
+// single-byte change to a sealed frame — body, marker, chain, or MAC —
+// must fail verification. Never crash, never verify.
+TEST(WireFuzzTest, AnySingleByteMutationOfSealedFrameIsRejected) {
+  Rng rng(9);
+  for (int round = 0; round < 20; ++round) {
+    RingPayload p;
+    p.app = AppId{static_cast<std::uint16_t>(1 + rng.next() % 8)};
+    p.sensor = SensorId{static_cast<std::uint16_t>(1 + rng.next() % 16)};
+    p.seen = random_pid_set(rng);
+    p.need = random_pid_set(rng);
+    p.event = random_event(rng);
+    std::vector<std::byte> sealed = encode(p);
+    std::uint64_t key = rng.next();
+    seal(sealed, key, rng.next());
+
+    std::vector<std::byte> body;
+    for (std::size_t pos = 0; pos < sealed.size(); ++pos) {
+      std::byte flip{static_cast<unsigned char>(1 + rng.next() % 255)};
+      std::vector<std::byte> mutated = sealed;
+      mutated[pos] ^= flip;  // nonzero XOR: guaranteed to differ
+      EXPECT_FALSE(verify_and_strip(mutated, key, body, nullptr))
+          << "mutation at byte " << pos << " verified";
+    }
+  }
+}
+
+TEST(WireFuzzTest, WrongKeyAndTruncationRejectSealedFrames) {
+  Rng rng(10);
+  for (int i = 0; i < kRounds; ++i) {
+    CommandPayload p;
+    p.app = AppId{static_cast<std::uint16_t>(1 + rng.next() % 8)};
+    p.guarantee = static_cast<std::uint8_t>(rng.next() % 2);
+    p.command = random_command(rng);
+    std::vector<std::byte> sealed = encode(p);
+    std::uint64_t key = rng.next();
+    seal(sealed, key, 0);
+
+    std::vector<std::byte> body;
+    ASSERT_TRUE(verify_and_strip(sealed, key, body, nullptr));
+    EXPECT_FALSE(verify_and_strip(sealed, key ^ 1, body, nullptr));
+    EXPECT_FALSE(verify_and_strip(sealed, ~key, body, nullptr));
+
+    // Every strict prefix fails: too short for a trailer, or the marker /
+    // MAC no longer lines up with the shifted tail.
+    if (i < 10) {
+      for (std::size_t n = 0; n < sealed.size(); ++n) {
+        std::vector<std::byte> prefix(sealed.begin(),
+                                      sealed.begin() + static_cast<long>(n));
+        EXPECT_FALSE(verify_and_strip(prefix, key, body, nullptr))
+            << "prefix length " << n << " verified";
+      }
+    }
+  }
+}
+
+// An unsealed frame must never pass verification (a receiver that
+// requires the trailer rejects plain frames outright), and random soup
+// must never produce a valid seal.
+TEST(WireFuzzTest, UnsealedAndRandomBuffersNeverVerify) {
+  Rng rng(11);
+  std::vector<std::byte> body;
+  for (int i = 0; i < 500; ++i) {
+    std::size_t len = rng.next() % 128;
+    std::vector<std::byte> buf(len);
+    for (std::size_t j = 0; j < len; ++j)
+      buf[j] = static_cast<std::byte>(rng.next() & 0xff);
+    EXPECT_FALSE(verify_and_strip(buf, rng.next(), body, nullptr));
+  }
+}
+
 // Random byte soup: decoders must reject or succeed, never crash or read
 // out of bounds. (ASAN builds make this test meaningfully stronger.)
 TEST(WireFuzzTest, RandomBytesNeverCrashDecoders) {

@@ -40,6 +40,10 @@ struct CliOptions {
   std::int64_t duration_s{60};
   std::int64_t check_interval_ms{500};
   int jobs{1};
+  // --kinds: comma-separated fault-kind names; when non-empty only the
+  // named categories are armed (everything else off). Kept verbatim for
+  // the repro line.
+  std::string kinds;
   bool verify_determinism{true};
   bool print_trace{false};
   bool demo_violation{false};
@@ -77,6 +81,11 @@ void usage(const char* argv0) {
       "  --jobs N              run seeds on N worker threads (default 1);\n"
       "                        per-seed results and output order are\n"
       "                        identical to a serial run\n"
+      "  --kinds a,b,c         arm only the named fault kinds (names as\n"
+      "                        printed by --list-kinds; naming either kind\n"
+      "                        of a begin/end pair arms both)\n"
+      "  --list-kinds          print every fault kind and its category,\n"
+      "                        then exit\n"
       "  --no-verify           skip the determinism double-run\n"
       "  --print-trace         dump the fault trace of every run\n"
       "  --demo-violation      register an always-failing invariant to\n"
@@ -124,6 +133,67 @@ bool parse_seeds(const std::string& arg, std::vector<std::uint64_t>& out) {
   }
 }
 
+// Fault-kind filter: every FaultKind name maps to the PlanOptions toggle
+// that arms its category (begin/end and fault/heal pairs share a toggle,
+// so naming either arms both — a plan with an un-healable fault would not
+// be well-formed). Quiesce windows are structural and always on.
+struct KindToggle {
+  const char* kind;  // to_string(FaultKind)
+  bool chaos::PlanOptions::*toggle;
+};
+constexpr KindToggle kKindToggles[] = {
+    {"crash", &chaos::PlanOptions::crashes},
+    {"recover", &chaos::PlanOptions::crashes},
+    {"partition", &chaos::PlanOptions::partitions},
+    {"heal-partition", &chaos::PlanOptions::partitions},
+    {"edge-down", &chaos::PlanOptions::asym_partitions},
+    {"edge-up", &chaos::PlanOptions::asym_partitions},
+    {"edge-delay", &chaos::PlanOptions::delay_spikes},
+    {"edge-delay-clear", &chaos::PlanOptions::delay_spikes},
+    {"edge-loss", &chaos::PlanOptions::edge_loss},
+    {"edge-loss-clear", &chaos::PlanOptions::edge_loss},
+    {"device-link-loss", &chaos::PlanOptions::device_link_loss},
+    {"device-crash", &chaos::PlanOptions::device_crashes},
+    {"device-recover", &chaos::PlanOptions::device_crashes},
+    {"spoof-event", &chaos::PlanOptions::spoof_events},
+    {"replay-event", &chaos::PlanOptions::replay_events},
+    {"corrupt-begin", &chaos::PlanOptions::corrupt_process},
+    {"corrupt-end", &chaos::PlanOptions::corrupt_process},
+};
+
+void list_kinds() {
+  std::printf("fault kinds (--kinds name,name,...):\n");
+  for (const KindToggle& k : kKindToggles) std::printf("  %s\n", k.kind);
+  std::printf("always on: quiesce-begin, quiesce-end (convergence "
+              "windows are structural)\n");
+}
+
+// Apply "a,b,c" to the plan toggles: all categories off, then each named
+// kind's category on. False on an unknown name (caller exits 2).
+bool apply_kinds(const std::string& spec, chaos::PlanOptions& plan) {
+  for (const KindToggle& k : kKindToggles) plan.*(k.toggle) = false;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string name = spec.substr(pos, comma - pos);
+    bool found = false;
+    for (const KindToggle& k : kKindToggles) {
+      if (name == k.kind) {
+        plan.*(k.toggle) = true;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown fault kind '%s' (see --list-kinds)\n",
+                   name.c_str());
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
 // The artificial invariant breaker: proves that a violation surfaces as a
 // failing seed with a working one-line repro. It trips once deliveries
 // start, which every healthy run reaches.
@@ -150,6 +220,7 @@ std::string repro_command(const CliOptions& cli, std::uint64_t seed) {
   std::snprintf(buf, sizeof(buf), "%g", cli.loss);
   cmd += std::string(" --loss ") + buf;
   cmd += " --duration " + std::to_string(cli.duration_s);
+  if (!cli.kinds.empty()) cmd += " --kinds " + cli.kinds;
   if (cli.demo_violation) cmd += " --demo-violation";
   return cmd;
 }
@@ -163,6 +234,7 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed,
   opt.scenario.receivers = cli.receivers;
   opt.scenario.device_link_loss = cli.loss;
   opt.plan.horizon = seconds(cli.duration_s);
+  if (!cli.kinds.empty()) apply_kinds(cli.kinds, opt.plan);  // pre-validated
   opt.check_interval = milliseconds(cli.check_interval_ms);
   opt.flight = !cli.trace_dir.empty() || cli.trace_ring_bytes > 0 ||
                !cli.stream_dir.empty();
@@ -214,10 +286,18 @@ bool report_outcome(const CliOptions& cli, const SeedOutcome& o) {
       std::printf("    %s\n", line.c_str());
   }
   if (!cli.quiet || failed) {
-    std::printf("seed %llu: %s  faults=%zu emitted=%llu ingested=%llu "
-                "delivered=%llu trace=%s%s\n",
+    // Applied faults and planned-but-inapplicable ones (victim already
+    // down, nothing eligible to replay, ...) are separate counts: a plan
+    // where most actions no-op'd is a very different run from one where
+    // they all landed, even when the totals match.
+    std::string byz = r.byzantine_attacks > 0
+                          ? " byz=" + std::to_string(r.byzantine_attacks)
+                          : "";
+    std::printf("seed %llu: %s  faults=%zu noop=%zu%s emitted=%llu "
+                "ingested=%llu delivered=%llu trace=%s%s\n",
                 static_cast<unsigned long long>(o.seed),
-                failed ? "FAIL" : "ok", r.faults_injected,
+                failed ? "FAIL" : "ok", r.faults_injected, r.faults_noop,
+                byz.c_str(),
                 static_cast<unsigned long long>(r.emitted),
                 static_cast<unsigned long long>(r.ingested),
                 static_cast<unsigned long long>(r.delivered),
@@ -323,6 +403,13 @@ int main(int argc, char** argv) {
       cli.check_interval_ms = std::atoll(next());
     } else if (arg == "--jobs") {
       cli.jobs = std::atoi(next());
+    } else if (arg == "--kinds") {
+      cli.kinds = next();
+      chaos::PlanOptions probe;
+      if (!apply_kinds(cli.kinds, probe)) return 2;
+    } else if (arg == "--list-kinds") {
+      list_kinds();
+      return 0;
     } else if (arg == "--no-verify") {
       cli.verify_determinism = false;
     } else if (arg == "--print-trace") {
