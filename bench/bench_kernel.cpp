@@ -31,12 +31,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "chaos/engine.hpp"
+#include "checkpoint/fork.hpp"
+#include "checkpoint/rivc.hpp"
+#include "checkpoint/scenario.hpp"
 #include "sim/simulation.hpp"
 #include "trace/trace.hpp"
 
@@ -253,6 +258,193 @@ Result bench_seed_sweep(int jobs, bool* hashes_match) {
   return r;
 }
 
+// --- checkpoint ----------------------------------------------------------
+// The checkpoint layer's costs, measured on the chaos reference workload
+// (seed 7, gapless) snapshotted mid-run: RIVC size, capture/save/load
+// wall time, restore (= re-execution to the snapshot time + byte-level
+// attestation), a bare fork(2) round-trip, and the headline — a
+// fork-per-seed sweep's wall-clock against from-scratch runs of the same
+// seeds. Attestation and fork-vs-fresh equality are hard gates: a
+// mismatch fails the bench regardless of --check.
+struct CheckpointResult {
+  std::uint64_t snapshot_bytes{0};
+  double capture_us{0};
+  double save_us{0};
+  double load_us{0};
+  double restore_us{0};
+  double fork_us{0};
+  double sweep_fresh_wall_s{0};
+  double sweep_forked_wall_s{0};
+  double sweep_speedup{0};
+  bool ok{false};
+};
+
+std::string chaos_outcome_line(const chaos::ChaosResult& r) {
+  return std::string(r.ok() ? "ok" : "FAIL") +
+         " faults=" + std::to_string(r.faults_injected) +
+         " trace=" + r.trace_digest;
+}
+
+CheckpointResult bench_checkpoint(int jobs) {
+  CheckpointResult out;
+  out.ok = true;
+
+  chaos::EngineOptions opt;
+  opt.scenario.seed = 7;
+  opt.scenario.guarantee = appmodel::Guarantee::kGapless;
+  opt.plan.horizon = seconds(30);
+
+  // capture / save / load / restore on a mid-run snapshot.
+  std::unique_ptr<checkpoint::Scenario> sc =
+      checkpoint::make_chaos_scenario(opt);
+  sc->start();
+  sc->run_to(TimePoint{} + seconds(15));
+  constexpr int kIters = 5;
+  checkpoint::Snapshot snap;
+  out.capture_us = 1e18;
+  for (int i = 0; i < kIters; ++i) {
+    double t0 = now_wall();
+    snap = sc->capture();
+    out.capture_us = std::min(out.capture_us, (now_wall() - t0) * 1e6);
+  }
+  out.snapshot_bytes = checkpoint::encode(snap).size();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_kernel.rivc")
+          .string();
+  out.save_us = 1e18;
+  out.load_us = 1e18;
+  for (int i = 0; i < kIters; ++i) {
+    std::string err;
+    double t0 = now_wall();
+    if (!checkpoint::save(snap, path, &err)) {
+      std::fprintf(stderr, "checkpoint save failed: %s\n", err.c_str());
+      out.ok = false;
+    }
+    out.save_us = std::min(out.save_us, (now_wall() - t0) * 1e6);
+    checkpoint::Snapshot loaded;
+    t0 = now_wall();
+    if (!checkpoint::load(path, &loaded, &err)) {
+      std::fprintf(stderr, "checkpoint load failed: %s\n", err.c_str());
+      out.ok = false;
+    }
+    out.load_us = std::min(out.load_us, (now_wall() - t0) * 1e6);
+  }
+  {
+    double t0 = now_wall();
+    checkpoint::RestoreReport rep = checkpoint::restore(snap);
+    out.restore_us = (now_wall() - t0) * 1e6;
+    if (!rep.ok) {
+      std::fprintf(stderr, "restore attestation FAILED: %s\n",
+                   rep.error.c_str());
+      out.ok = false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+
+  if (!checkpoint::fork_supported()) {
+    std::fprintf(stderr,
+                 "fork(2) unavailable: sweep speed-up not measured\n");
+    return out;
+  }
+
+  // Bare fork round-trip: address-space copy + pipe + wait.
+  out.fork_us = 1e18;
+  for (int i = 0; i < kIters; ++i) {
+    double t0 = now_wall();
+    checkpoint::ForkResult fr =
+        checkpoint::fork_run([] { return std::string("x"); });
+    double us = (now_wall() - t0) * 1e6;
+    if (!fr.ok) out.ok = false;
+    out.fork_us = std::min(out.fork_us, us);
+  }
+
+  // Fork-per-seed sweep vs from-scratch: same warm-up prefix, same plan
+  // seeds, outcome lines must match exactly. The configuration is
+  // warm-up-dominated (120 s shared prefix, 10 s of chaos per seed) —
+  // the shape the fork API exists for: from-scratch re-executes the
+  // prefix N times, the forked sweep once, so the speed-up holds even on
+  // a single core (it is eliminated work, not parallelism).
+  const std::vector<std::uint64_t> seeds = {3, 7, 11, 19};
+  const Duration warmup = seconds(120);
+  auto make_options = [] {
+    chaos::EngineOptions o;
+    o.scenario.seed = 3;
+    o.scenario.guarantee = appmodel::Guarantee::kGapless;
+    o.plan.horizon = seconds(10);
+    o.defer_plan = true;
+    return o;
+  };
+  std::vector<std::string> fresh;
+  double t0 = now_wall();
+  for (std::uint64_t seed : seeds) {
+    chaos::ChaosSession session(make_options());
+    session.run_to(TimePoint{} + warmup);
+    session.arm_plan(seed, warmup);
+    session.run_to(session.run_end());
+    chaos::ChaosResult r;
+    session.finish(r);
+    fresh.push_back(chaos_outcome_line(r));
+  }
+  out.sweep_fresh_wall_s = now_wall() - t0;
+
+  t0 = now_wall();
+  chaos::ChaosSession shared(make_options());
+  shared.run_to(TimePoint{} + warmup);
+  std::vector<checkpoint::ForkResult> forked = checkpoint::fork_sweep(
+      seeds.size(), static_cast<std::size_t>(jobs),
+      [&shared, &seeds, warmup](std::size_t i) {
+        shared.arm_plan(seeds[i], warmup);
+        shared.run_to(shared.run_end());
+        chaos::ChaosResult r;
+        shared.finish(r);
+        return chaos_outcome_line(r);
+      });
+  out.sweep_forked_wall_s = now_wall() - t0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (!forked[i].ok || forked[i].payload != fresh[i]) {
+      std::fprintf(stderr,
+                   "fork-vs-fresh MISMATCH seed %llu: '%s' vs '%s'\n",
+                   static_cast<unsigned long long>(seeds[i]),
+                   forked[i].payload.c_str(), fresh[i].c_str());
+      out.ok = false;
+    }
+  }
+  out.sweep_speedup = out.sweep_forked_wall_s > 0
+                          ? out.sweep_fresh_wall_s / out.sweep_forked_wall_s
+                          : 0;
+  return out;
+}
+
+void print_checkpoint(const CheckpointResult& r) {
+  std::printf("%-14s %8llu snapshot-B   capture %.0fus  save %.0fus  "
+              "load %.0fus  restore %.0fus\n",
+              "checkpoint",
+              static_cast<unsigned long long>(r.snapshot_bytes),
+              r.capture_us, r.save_us, r.load_us, r.restore_us);
+  if (r.sweep_speedup > 0)
+    std::printf("%-14s fork %.0fus   sweep fresh %.3fs vs forked %.3fs  "
+                "(%.2fx)\n",
+                "", r.fork_us, r.sweep_fresh_wall_s, r.sweep_forked_wall_s,
+                r.sweep_speedup);
+  std::printf("%-14s attestation + fork-vs-fresh: %s\n", "",
+              r.ok ? "ok" : "FAILED");
+}
+
+void append_checkpoint_json(std::string& out, const CheckpointResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"checkpoint\": {\"snapshot_bytes\": %llu, \"capture_us\": "
+      "%.1f, \"save_us\": %.1f, \"load_us\": %.1f, \"restore_us\": %.1f, "
+      "\"fork_us\": %.1f, \"sweep_fresh_wall_s\": %.4f, "
+      "\"sweep_forked_wall_s\": %.4f, \"sweep_speedup\": %.2f}\n",
+      static_cast<unsigned long long>(r.snapshot_bytes), r.capture_us,
+      r.save_us, r.load_us, r.restore_us, r.fork_us, r.sweep_fresh_wall_s,
+      r.sweep_forked_wall_s, r.sweep_speedup);
+  out += buf;
+}
+
 // --- reporting -----------------------------------------------------------
 void print_result(const char* name, const Result& r) {
   std::printf("%-14s %12.0f events/s   %9llu events   %7.3f wall-s", name,
@@ -373,13 +565,16 @@ int main(int argc, char** argv) {
   print_result("seed_sweep", seed_sweep);
   std::printf("seed_sweep: parallel (--jobs %d) per-seed hashes %s serial\n",
               jobs, hashes_match ? "MATCH" : "DIFFER FROM");
+  CheckpointResult checkpoint = bench_checkpoint(jobs);
+  print_checkpoint(checkpoint);
 
   std::string json = "{\n  \"bench\": \"kernel\",\n  \"scenarios\": {\n";
   append_json(json, "timer_churn", timer_churn, false);
   append_json(json, "chaos_flight", chaos_flight, false);
   append_json(json, "traced_flight", traced_flight, false);
   append_json(json, "steady_home", steady_home, false);
-  append_json(json, "seed_sweep", seed_sweep, true);
+  append_json(json, "seed_sweep", seed_sweep, false);
+  append_checkpoint_json(json, checkpoint);
   json += "  }\n}\n";
 
   if (!json_path.empty()) {
@@ -403,6 +598,7 @@ int main(int argc, char** argv) {
   }
 
   int failures = hashes_match ? 0 : 1;
+  if (!checkpoint.ok) ++failures;
   if (!check_paths.empty()) {
     // Concatenate all baseline files: the scenario lookup searches the
     // whole blob, so baselines may be split across files (BENCH_kernel.json

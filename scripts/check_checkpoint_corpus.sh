@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Checkpoint/restore equivalence gate (DESIGN §13), run over both chaos
+# seed corpora (tests/seeds.txt and tests/seeds_byzantine.txt). For every
+# seed, three runs must agree on the fault-trace hash:
+#
+#   1. serial     — chaos_run as shipped, uninterrupted;
+#   2. chunked    — the same run with --checkpoint-every T: execution is
+#                   split into checkpoint-sized chunks with a snapshot
+#                   captured and saved at every boundary. Its stdout must
+#                   be BYTE-IDENTICAL to the serial run's (the built-in
+#                   determinism double-run stays on the uninterrupted
+#                   path, so matching hashes prove chunked ≡ serial);
+#   3. restored   — the latest .rivc snapshot from run 2 is loaded with
+#                   --from-checkpoint, the restore is attested (every
+#                   re-executed section byte-identical to the stored
+#                   one), and the finished run must report the same
+#                   fault-trace hash as the serial run.
+#
+# usage: check_checkpoint_corpus.sh [chaos_run] [seeds.txt [more.txt ...]]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+chaos_run="${1:-$repo_root/build/tools/chaos_run}"
+shift || true
+seed_files=("$@")
+if [[ ${#seed_files[@]} -eq 0 ]]; then
+  seed_files=("$repo_root/tests/seeds.txt"
+              "$repo_root/tests/seeds_byzantine.txt")
+fi
+
+if [[ ! -x "$chaos_run" ]]; then
+  echo "chaos_run not found/executable: $chaos_run" >&2
+  exit 2
+fi
+
+byz_kinds="crash,spoof-event,replay-event,corrupt-begin"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+status=0
+checked=0
+
+for seeds_file in "${seed_files[@]}"; do
+  echo "== corpus: $seeds_file =="
+  # The Byzantine corpus runs with the attacker armed, like its tier-2
+  # regression replay does; the checkpoint must capture attacker state too.
+  kinds_args=()
+  [[ "$seeds_file" == *byzantine* ]] && kinds_args=(--kinds "$byz_kinds")
+  while read -r seed guarantee horizon; do
+    [[ -z "$seed" || "$seed" == \#* ]] && continue
+    every=$(( horizon / 3 )); (( every < 1 )) && every=1
+    ckdir="$workdir/ck-$seed"
+    "$chaos_run" --seed "$seed" --guarantee "$guarantee" \
+      --duration "$horizon" "${kinds_args[@]}" \
+      > "$workdir/serial.out" \
+      || { echo "serial run failed: seed $seed" >&2; status=1; continue; }
+    "$chaos_run" --seed "$seed" --guarantee "$guarantee" \
+      --duration "$horizon" "${kinds_args[@]}" \
+      --checkpoint-every "$every" --checkpoint-dir "$ckdir" \
+      > "$workdir/chunked.out" \
+      || { echo "chunked run failed: seed $seed" >&2; status=1; continue; }
+    if ! diff -u "$workdir/serial.out" "$workdir/chunked.out"; then
+      echo "CHUNKED/SERIAL MISMATCH: seed $seed ($guarantee ${horizon}s," \
+           "--checkpoint-every $every)" >&2
+      status=1
+      continue
+    fi
+    serial_hash="$(grep -o 'trace=[0-9a-f]*' "$workdir/serial.out" | head -1)"
+    # Restore from the LAST snapshot (deepest into the run, after the
+    # fault plan has mostly played out) and finish the run.
+    last_ck="$(ls "$ckdir"/seed-"$seed"-t*.rivc 2>/dev/null \
+               | sort -t't' -k3 -n | tail -1)"
+    if [[ -z "$last_ck" ]]; then
+      echo "NO CHECKPOINT WRITTEN: seed $seed" >&2
+      status=1
+      continue
+    fi
+    if ! "$chaos_run" --from-checkpoint "$last_ck" \
+        > "$workdir/restored.out"; then
+      echo "RESTORE FAILED: seed $seed ($last_ck)" >&2
+      cat "$workdir/restored.out" >&2
+      status=1
+      continue
+    fi
+    restored_hash="$(grep -o 'trace=[0-9a-f]*' "$workdir/restored.out" \
+                     | head -1)"
+    if [[ -z "$serial_hash" || "$restored_hash" != "$serial_hash" ]]; then
+      echo "RESTORED/SERIAL HASH MISMATCH: seed $seed" \
+           "(serial $serial_hash vs restored $restored_hash)" >&2
+      status=1
+      continue
+    fi
+    checked=$(( checked + 1 ))
+    echo "seed $seed: chunked output identical, restored $restored_hash" \
+         "matches serial ($(basename "$last_ck"))"
+  done < "$seeds_file"
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "checkpoint corpus: $checked seeds — chunked ≡ serial and" \
+       "restored ≡ uninterrupted on every fault-trace hash"
+fi
+exit $status

@@ -10,66 +10,69 @@
 
 namespace riv::chaos {
 
-ChaosEngine::ChaosEngine(EngineOptions options)
-    : options_(std::move(options)) {}
+// Declaration order is teardown order in reverse and is load-bearing:
+// the deployment (and the checker/injector that reference it) must tear
+// down while the flight Scope is still installed, so the shutdown records
+// their destructors emit land in the flight trace exactly as they did
+// when ChaosEngine::run() was monolithic.
+struct ChaosSession::Impl {
+  EngineOptions options;
+  bool byzantine{false};
+  bool defense{false};
+  PlanOptions plan_opt;
+  TimePoint end{};
+  std::shared_ptr<riv::trace::Recorder> flight;
+  std::optional<riv::trace::Scope> flight_scope;
+  TraceRecorder trace;
+  std::optional<workload::HomeDeployment> home;
+  std::optional<InvariantChecker> checker;
+  std::optional<FaultInjector> injector;
+};
 
-ChaosEngine::~ChaosEngine() = default;
-
-void ChaosEngine::add_invariant(std::unique_ptr<Invariant> invariant) {
-  extra_.push_back(std::move(invariant));
-}
-
-ChaosResult ChaosEngine::run() {
-  const ScenarioOptions& sc = options_.scenario;
+ChaosSession::ChaosSession(EngineOptions options,
+                           std::vector<std::unique_ptr<Invariant>> extra)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.options = std::move(options);
+  const ScenarioOptions& sc = im.options.scenario;
   RIV_ASSERT(sc.n_processes >= 1, "scenario needs at least one process");
 
   // Install the flight recorder (if requested) before any simulation
-  // object exists, so construction-time activity is captured too. The
-  // Scope lasts the whole run and the recorder outlives it via the shared
-  // pointer handed back in the result.
-  std::shared_ptr<riv::trace::Recorder> flight;
-  std::optional<riv::trace::Scope> flight_scope;
-  if (options_.flight) {
-    flight =
-        std::make_shared<riv::trace::Recorder>(options_.flight_mask);
-    if (options_.flight_ring_bytes > 0)
-      flight->set_ring_limit(options_.flight_ring_bytes);
-    if (!options_.flight_stream_path.empty()) {
+  // object exists, so construction-time activity is captured too.
+  if (im.options.flight) {
+    im.flight =
+        std::make_shared<riv::trace::Recorder>(im.options.flight_mask);
+    if (im.options.flight_ring_bytes > 0)
+      im.flight->set_ring_limit(im.options.flight_ring_bytes);
+    if (!im.options.flight_stream_path.empty()) {
       std::string err;
-      RIV_ASSERT(flight->stream_to(options_.flight_stream_path, &err),
+      RIV_ASSERT(im.flight->stream_to(im.options.flight_stream_path, &err),
                  ("flight stream: " + err).c_str());
     }
-    flight_scope.emplace(*flight);
+    im.flight_scope.emplace(*im.flight);
   }
 
-  ChaosResult result;
-  TraceRecorder trace;
-
-  // Inner scope: the deployment (and the checker/injector that reference
-  // it) must tear down *before* a streaming flight sink is finished, so
-  // the shutdown records their destructors emit reach the file and the
-  // streamed trace stays byte-identical to an in-memory save.
-  {
   // --- the standard home -------------------------------------------------
   // Any Byzantine plan category arms the attacker model (signing sensors,
   // ground-truth markers); the defense toggle decides whether receivers
   // actually verify. The deployment key is a pure function of the seed so
   // sealed traffic — like everything else — replays bit-for-bit.
-  const bool byzantine = options_.plan.spoof_events ||
-                         options_.plan.replay_events ||
-                         options_.plan.corrupt_process;
-  const bool defense = byzantine && options_.byzantine_defense;
+  im.byzantine = im.options.plan.spoof_events ||
+                 im.options.plan.replay_events ||
+                 im.options.plan.corrupt_process;
+  im.defense = im.byzantine && im.options.byzantine_defense;
   const std::uint64_t integrity_key =
       sc.seed * 0x2545f4914f6cdd1dULL ^ 0x452821e638d01377ULL;
 
   workload::HomeDeployment::Options home_opt;
   home_opt.seed = sc.seed;
   home_opt.n_processes = sc.n_processes;
-  if (defense) {
+  if (im.defense) {
     home_opt.config.integrity = true;
     home_opt.config.integrity_key = integrity_key;
   }
-  workload::HomeDeployment home(home_opt);
+  im.home.emplace(home_opt);
+  workload::HomeDeployment& home = *im.home;
 
   devices::SensorSpec spec;
   spec.id = kChaosSensor;
@@ -83,7 +86,7 @@ ChaosResult ChaosEngine::run() {
   devices::LinkParams link;
   link.loss_prob = sc.device_link_loss;
   devices::Sensor& door = home.add_sensor(spec, linked, link);
-  if (byzantine) door.enable_integrity(integrity_key);
+  if (im.byzantine) door.enable_integrity(integrity_key);
 
   devices::ActuatorSpec light;
   light.id = kChaosActuator;
@@ -94,70 +97,96 @@ ChaosResult ChaosEngine::run() {
       kChaosApp, kChaosSensor, kChaosActuator, sc.guarantee));
 
   // --- the fault plan -----------------------------------------------------
-  PlanOptions plan_opt = options_.plan;
-  plan_opt.n_processes = sc.n_processes;
-  plan_opt.devices = {kChaosSensor};
-  plan_opt.device_links.clear();
-  for (ProcessId p : linked) plan_opt.device_links.emplace_back(kChaosSensor, p);
+  im.plan_opt = im.options.plan;
+  im.plan_opt.n_processes = sc.n_processes;
+  im.plan_opt.devices = {kChaosSensor};
+  im.plan_opt.device_links.clear();
+  for (ProcessId p : linked)
+    im.plan_opt.device_links.emplace_back(kChaosSensor, p);
   // A quiescence window must cover ring-wide anti-entropy propagation
   // ((n-1) sync periods) plus failure-detection and a safety margin, or
   // the converged checks would run before convergence is promised.
   Duration min_quiesce = core::Config{}.sync_period * (sc.n_processes - 1) +
                          seconds(6);
-  plan_opt.quiesce_len = std::max(plan_opt.quiesce_len, min_quiesce);
-  FaultPlan plan = generate_plan(sc.seed, plan_opt);
+  im.plan_opt.quiesce_len = std::max(im.plan_opt.quiesce_len, min_quiesce);
 
   // --- checker + injector -------------------------------------------------
-  trace.record("chaos seed=" + std::to_string(sc.seed) +
-               " guarantee=" + appmodel::to_string(sc.guarantee) +
-               " procs=" + std::to_string(sc.n_processes) +
-               " receivers=" + std::to_string(sc.receivers) +
-               " horizon=" + std::to_string(plan_opt.horizon.us) + "us");
-
-  InvariantChecker checker(home, kChaosApp, kChaosSensor);
-  checker.add(std::make_unique<SingleActiveLogic>());
-  checker.add(std::make_unique<NoDuplicateDelivery>());
+  im.checker.emplace(home, kChaosApp, kChaosSensor);
+  im.checker->add(std::make_unique<SingleActiveLogic>());
+  im.checker->add(std::make_unique<NoDuplicateDelivery>());
   if (sc.guarantee == appmodel::Guarantee::kGapless) {
-    checker.add(std::make_unique<LogSetConvergence>());
-    checker.add(std::make_unique<GaplessPostIngest>());
+    im.checker->add(std::make_unique<LogSetConvergence>());
+    im.checker->add(std::make_unique<GaplessPostIngest>());
   }
-  if (byzantine) {
-    checker.add(std::make_unique<NoForgedActuation>());
-    if (defense) checker.add(std::make_unique<NoOriginSeqRegression>());
+  if (im.byzantine) {
+    im.checker->add(std::make_unique<NoForgedActuation>());
+    if (im.defense) im.checker->add(std::make_unique<NoOriginSeqRegression>());
   }
-  for (auto& inv : extra_) checker.add(std::move(inv));
-  extra_.clear();
+  for (auto& inv : extra) im.checker->add(std::move(inv));
+  extra.clear();
 
-  FaultInjector injector(home, trace);
-  injector.set_integrity_armed(defense);
-  injector.arm(plan, [&checker](TimePoint window_start) {
-    checker.check_converged(window_start, /*final_check=*/false);
-  });
+  im.injector.emplace(home, im.trace);
+  im.injector->set_integrity_armed(im.defense);
+  im.end = home.sim().now() + im.plan_opt.horizon + seconds(1);
+  if (!im.options.defer_plan) arm_plan(sc.seed);
 
-  // --- run ----------------------------------------------------------------
-  if (options_.metrics_period.us > 0)
-    home.enable_metric_snapshots(options_.metrics_period);
+  // --- start --------------------------------------------------------------
+  if (im.options.metrics_period.us > 0)
+    home.enable_metric_snapshots(im.options.metrics_period);
   home.start();
-  checker.start(options_.check_interval);
-  home.run_for(plan_opt.horizon + seconds(1));
+  im.checker->start(im.options.check_interval);
+}
+
+ChaosSession::~ChaosSession() = default;
+
+workload::HomeDeployment& ChaosSession::home() { return *impl_->home; }
+
+TimePoint ChaosSession::run_end() const { return impl_->end; }
+
+void ChaosSession::run_to(TimePoint t) {
+  if (t > impl_->home->sim().now()) impl_->home->run_until(t);
+}
+
+void ChaosSession::arm_plan(std::uint64_t plan_seed, Duration offset) {
+  Impl& im = *impl_;
+  const ScenarioOptions& sc = im.options.scenario;
+  FaultPlan plan = generate_plan(plan_seed, im.plan_opt);
+  im.trace.record("chaos seed=" + std::to_string(plan_seed) +
+                  " guarantee=" + appmodel::to_string(sc.guarantee) +
+                  " procs=" + std::to_string(sc.n_processes) +
+                  " receivers=" + std::to_string(sc.receivers) +
+                  " horizon=" + std::to_string(im.plan_opt.horizon.us) + "us");
+  InvariantChecker* checker = &*im.checker;
+  im.injector->arm(
+      plan,
+      [checker](TimePoint window_start) {
+        checker->check_converged(window_start, /*final_check=*/false);
+      },
+      offset);
+  im.end = im.home->sim().now() + im.plan_opt.horizon + seconds(1);
+}
+
+void ChaosSession::finish(ChaosResult& result) {
+  Impl& im = *impl_;
+  workload::HomeDeployment& home = *im.home;
 
   result.quiesced = home.drain_to_quiescence();
   if (!result.quiesced)
-    trace.record(home.sim().now(), "drain did NOT quiesce");
-  checker.check_converged(home.sim().now(), /*final_check=*/true);
+    im.trace.record(home.sim().now(), "drain did NOT quiesce");
+  im.checker->check_converged(home.sim().now(), /*final_check=*/true);
 
   // --- summarize ----------------------------------------------------------
-  result.violations = checker.violations();
-  result.faults_injected = injector.injected();
-  result.faults_noop = injector.noops();
-  result.byzantine_attacks = injector.attacks();
-  if (byzantine) {
+  result.violations = im.checker->violations();
+  result.faults_injected = im.injector->injected();
+  result.faults_noop = im.injector->noops();
+  result.byzantine_attacks = im.injector->attacks();
+  if (im.byzantine) {
     // Folded into the determinism hash like the main summary, so a hash
     // match also certifies "same attacks were performed and survived".
-    trace.record(home.sim().now(),
-                 std::string("byzantine attacks=") +
-                     std::to_string(injector.attacks()) +
-                     " defense=" + (defense ? "on" : "off"));
+    im.trace.record(home.sim().now(),
+                    std::string("byzantine attacks=") +
+                        std::to_string(im.injector->attacks()) +
+                        " defense=" + (im.defense ? "on" : "off"));
   }
   result.delivered = home.metrics().counter_value(
       "app" + std::to_string(kChaosApp.value) + ".delivered");
@@ -177,21 +206,53 @@ ChaosResult ChaosEngine::run() {
     logs += " " + to_string(p) + "=" +
             std::to_string(log ? log->size(kChaosSensor) : 0);
   }
-  trace.record(home.sim().now(),
-               "summary emitted=" + std::to_string(result.emitted) +
-                   " ingested=" + std::to_string(result.ingested) +
-                   " delivered=" + std::to_string(result.delivered) +
-                   " logs:" + logs);
+  im.trace.record(home.sim().now(),
+                  "summary emitted=" + std::to_string(result.emitted) +
+                      " ingested=" + std::to_string(result.ingested) +
+                      " delivered=" + std::to_string(result.delivered) +
+                      " logs:" + logs);
 
-  if (options_.metrics_period.us > 0)
+  if (im.options.metrics_period.us > 0)
     result.metrics_csv = home.metric_snapshots().to_csv();
 
   result.sim_events = home.sim().events_fired();
-  }  // deployment teardown — shutdown records land in the flight trace
 
-  result.trace = trace.lines();
-  result.trace_hash = trace.hash();
-  result.trace_digest = trace.digest();
+  // Deployment teardown emits nothing into the fault-trace recorder, so
+  // reading it here (before ~ChaosSession) matches the monolithic run.
+  result.trace = im.trace.lines();
+  result.trace_hash = im.trace.hash();
+  result.trace_digest = im.trace.digest();
+}
+
+std::shared_ptr<riv::trace::Recorder> ChaosSession::flight() const {
+  return impl_->flight;
+}
+
+const TraceRecorder& ChaosSession::fault_trace() const { return impl_->trace; }
+
+void ChaosSession::checkpoint_state(BinaryWriter& w) const {
+  impl_->injector->checkpoint_state(w);
+}
+
+ChaosEngine::ChaosEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+ChaosEngine::~ChaosEngine() = default;
+
+void ChaosEngine::add_invariant(std::unique_ptr<Invariant> invariant) {
+  extra_.push_back(std::move(invariant));
+}
+
+ChaosResult ChaosEngine::run() {
+  ChaosResult result;
+  std::shared_ptr<riv::trace::Recorder> flight;
+  {
+    ChaosSession session(options_, std::move(extra_));
+    extra_.clear();
+    session.run_to(session.run_end());
+    session.finish(result);
+    flight = session.flight();
+  }  // deployment teardown — shutdown records land in the flight trace
   if (flight != nullptr && flight->streaming()) {
     std::string err;
     RIV_ASSERT(flight->finish(&err), ("flight stream: " + err).c_str());

@@ -19,6 +19,13 @@
 #include "chaos/trace.hpp"
 #include "trace/trace.hpp"
 
+namespace riv {
+class BinaryWriter;
+namespace workload {
+class HomeDeployment;
+}
+}  // namespace riv
+
 namespace riv::chaos {
 
 struct ScenarioOptions {
@@ -63,6 +70,11 @@ struct EngineOptions {
   // their emissions whenever Byzantine chaos is on, so the attacker model
   // is identical in both modes; only the verification differs.
   bool byzantine_defense{true};
+  // Fork-per-seed sweeps: build the deployment but generate/arm NO fault
+  // plan. The caller warms the home up, then calls
+  // ChaosSession::arm_plan(seed, offset) — typically once per forked
+  // child — so many divergent fault schedules share one warm-up prefix.
+  bool defer_plan{false};
 };
 
 struct ChaosResult {
@@ -106,6 +118,59 @@ class ChaosEngine {
  private:
   EngineOptions options_;
   std::vector<std::unique_ptr<Invariant>> extra_;
+};
+
+// One chaos run, held open. Construction builds the deployment, arms the
+// seed's fault plan (unless EngineOptions::defer_plan), and starts the
+// home + checker — exactly the prefix ChaosEngine::run() always executed.
+// The caller then advances virtual time in chunks (run_to), may capture a
+// checkpoint between chunks, and calls finish() for the drain + final
+// converged checks + summary. ChaosEngine::run() is now a thin wrapper
+// over one session, and a chunked session produces a trace byte-identical
+// to the monolithic run it replaced (test_checkpoint pins this).
+class ChaosSession {
+ public:
+  explicit ChaosSession(EngineOptions options,
+                        std::vector<std::unique_ptr<Invariant>> extra = {});
+  ~ChaosSession();
+  ChaosSession(const ChaosSession&) = delete;
+  ChaosSession& operator=(const ChaosSession&) = delete;
+
+  // The deployment under test (checkpoint capture reads it).
+  workload::HomeDeployment& home();
+
+  // Virtual end of the scheduled run: plan horizon + 1s of settle time,
+  // measured from the moment the plan was armed.
+  TimePoint run_end() const;
+
+  // Advance virtual time to `t` (no-op if `t` is already past).
+  void run_to(TimePoint t);
+
+  // Drain to quiescence, run the final converged checks, and fill every
+  // ChaosResult field except `flight` — the engine attaches the flight
+  // recorder only after teardown so shutdown records reach a streaming
+  // sink first. Call once, after the last run_to.
+  void finish(ChaosResult& result);
+
+  // defer_plan mode: generate the plan for `plan_seed` and arm it with
+  // every action shifted by `offset`. Fork-per-seed sweeps call this once
+  // per forked child after a shared fault-free warm-up, so divergent
+  // schedules reuse one warm prefix.
+  void arm_plan(std::uint64_t plan_seed, Duration offset = {});
+
+  // The flight recorder (null unless EngineOptions::flight was set).
+  std::shared_ptr<riv::trace::Recorder> flight() const;
+
+  // The human-readable fault trace accumulated so far.
+  const TraceRecorder& fault_trace() const;
+
+  // Serialize the injector's fault-plan cursors — the "chaos.injector"
+  // checkpoint section.
+  void checkpoint_state(BinaryWriter& w) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 // The scenario's fixed identifiers (shared with tests).

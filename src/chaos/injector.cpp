@@ -10,7 +10,8 @@ FaultInjector::FaultInjector(workload::HomeDeployment& home,
                              TraceRecorder& trace)
     : home_(&home), trace_(&trace) {}
 
-void FaultInjector::arm(const FaultPlan& plan, QuiesceHook on_quiesce_end) {
+void FaultInjector::arm(const FaultPlan& plan, QuiesceHook on_quiesce_end,
+                        Duration offset) {
   on_quiesce_end_ = std::move(on_quiesce_end);
   // Attack-time randomness is independent of both the plan generator's
   // stream and the simulation's, but still a pure function of the seed.
@@ -18,8 +19,12 @@ void FaultInjector::arm(const FaultPlan& plan, QuiesceHook on_quiesce_end) {
   bool any_corrupt = false;
   for (const FaultAction& action : plan.actions) {
     any_corrupt |= action.kind == FaultKind::kCorruptBegin;
-    home_->sim().schedule_at(action.at,
-                             [this, action] { apply(action); });
+    // Fork-per-seed sweeps arm a plan after a shared warm-up; `offset`
+    // shifts the whole schedule so plan times stay relative to arming.
+    FaultAction shifted = action;
+    shifted.at = shifted.at + offset;
+    home_->sim().schedule_at(shifted.at,
+                             [this, shifted] { apply(shifted); });
   }
   if (any_corrupt) {
     home_->net().set_interposer(

@@ -46,9 +46,12 @@ class FaultInjector {
   // widens when verification is off — see apply().
   void set_integrity_armed(bool armed) { integrity_ = armed; }
 
-  // Schedule every action of `plan`. Call once, before or after
-  // HomeDeployment::start(), but before running the simulation.
-  void arm(const FaultPlan& plan, QuiesceHook on_quiesce_end = {});
+  // Schedule every action of `plan`, each shifted by `offset` (zero for a
+  // normal run; fork-per-seed sweeps arm after a shared warm-up). Call
+  // once, before or after HomeDeployment::start(), but before running the
+  // simulation past the first shifted action.
+  void arm(const FaultPlan& plan, QuiesceHook on_quiesce_end = {},
+           Duration offset = {});
 
   // Actions that changed home state when applied.
   std::size_t injected() const { return injected_; }
@@ -57,6 +60,28 @@ class FaultInjector {
   // Byzantine attacks actually performed (spoof/replay injections plus
   // interposer mutate/dup/drop events) — each emitted a kByzantine marker.
   std::size_t attacks() const { return attacks_; }
+
+  // Serialize the injector's plan cursors — action sequence, applied/noop
+  // split, attack randomness stream, quiescence window, link-loss
+  // baselines, corrupt-window state — for a checkpoint.
+  void checkpoint_state(BinaryWriter& w) const {
+    w.u64(seq_);
+    w.u64(injected_);
+    w.u64(noops_);
+    w.u64(attacks_);
+    w.u8(integrity_ ? 1 : 0);
+    for (std::uint64_t word : byz_rng_.state()) w.u64(word);
+    w.time_point(window_start_);
+    w.u8(corrupt_pid_.has_value() ? 1 : 0);
+    if (corrupt_pid_.has_value()) w.process_id(*corrupt_pid_);
+    w.u64(corrupt_fault_id_);
+    w.u64(base_link_loss_.size());
+    for (const auto& [link, loss] : base_link_loss_) {
+      w.sensor_id(link.first);
+      w.process_id(link.second);
+      w.f64(loss);
+    }
+  }
 
  private:
   void apply(const FaultAction& action);

@@ -1,0 +1,161 @@
+#include "checkpoint/fork.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RIV_HAVE_FORK 1
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#endif
+
+namespace riv::checkpoint {
+
+#ifdef RIV_HAVE_FORK
+
+namespace {
+
+// Child side: length-prefixed payload, written with plain write(2) —
+// stdio buffers are shared with the parent post-fork and must not be
+// flushed twice.
+void write_payload_and_exit(int fd, const std::string& payload) {
+  std::uint64_t len = payload.size();
+  const auto put = [fd](const void* data, std::size_t n) {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd, p, n);
+      if (w <= 0) {
+        if (w < 0 && errno == EINTR) continue;
+        ::_exit(3);
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  };
+  put(&len, sizeof(len));
+  put(payload.data(), payload.size());
+  ::close(fd);
+  ::_exit(0);
+}
+
+struct Child {
+  pid_t pid{-1};
+  int fd{-1};
+  std::size_t index{0};
+  std::string buf;  // raw bytes read so far (length prefix + payload)
+  bool eof{false};
+};
+
+bool spawn(std::size_t index,
+           const std::function<std::string(std::size_t)>& fn, Child* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    write_payload_and_exit(fds[1], fn(index));
+  }
+  ::close(fds[1]);
+  out->pid = pid;
+  out->fd = fds[0];
+  out->index = index;
+  return true;
+}
+
+// Harvest a finished child: validate the length prefix, reap the pid.
+void finish_child(Child& c, ForkResult& r) {
+  ::close(c.fd);
+  int status = 0;
+  ::waitpid(c.pid, &status, 0);
+  r.status = status;
+  if (c.buf.size() >= sizeof(std::uint64_t)) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, c.buf.data(), sizeof(len));
+    if (c.buf.size() == sizeof(len) + len) {
+      r.payload = c.buf.substr(sizeof(len));
+      r.ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+  }
+}
+
+}  // namespace
+
+bool fork_supported() { return true; }
+
+std::vector<ForkResult> fork_sweep(
+    std::size_t n, std::size_t jobs,
+    const std::function<std::string(std::size_t)>& child) {
+  std::vector<ForkResult> results(n);
+  if (n == 0) return results;
+  if (jobs == 0) jobs = 1;
+
+  std::vector<Child> live;
+  std::size_t next = 0;
+  while (next < n || !live.empty()) {
+    while (next < n && live.size() < jobs) {
+      Child c;
+      if (!spawn(next, child, &c)) {
+        results[next].ok = false;  // fork/pipe failure: recorded, skipped
+        ++next;
+        continue;
+      }
+      live.push_back(c);
+      ++next;
+    }
+    if (live.empty()) continue;
+
+    std::vector<pollfd> fds(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+      fds[i] = {live[i].fd, POLLIN, 0};
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      char chunk[65536];
+      ssize_t got = ::read(live[i].fd, chunk, sizeof(chunk));
+      if (got > 0) {
+        live[i].buf.append(chunk, static_cast<std::size_t>(got));
+      } else if (got == 0 || (got < 0 && errno != EINTR)) {
+        live[i].eof = true;
+      }
+    }
+    for (std::size_t i = live.size(); i-- > 0;) {
+      if (!live[i].eof) continue;
+      finish_child(live[i], results[live[i].index]);
+      live.erase(live.begin() + static_cast<long>(i));
+    }
+  }
+  return results;
+}
+
+ForkResult fork_run(const std::function<std::string()>& child) {
+  std::vector<ForkResult> r =
+      fork_sweep(1, 1, [&child](std::size_t) { return child(); });
+  return std::move(r[0]);
+}
+
+#else  // !RIV_HAVE_FORK
+
+bool fork_supported() { return false; }
+
+ForkResult fork_run(const std::function<std::string()>&) { return {}; }
+
+std::vector<ForkResult> fork_sweep(
+    std::size_t n, std::size_t,
+    const std::function<std::string(std::size_t)>&) {
+  return std::vector<ForkResult>(n);
+}
+
+#endif
+
+}  // namespace riv::checkpoint

@@ -1,0 +1,46 @@
+// In-memory fork: run a divergent tail of the current process's state.
+//
+// Serializing a mid-run simulation is impossible in general (timer
+// callbacks are closures), but the operating system can copy one for
+// free: fork(2) gives the child a copy-on-write image of the whole
+// address space — closures, timer wheel, RNG streams and all. fork_run
+// executes a callback in such a child and ships its result back over a
+// pipe; fork_sweep keeps up to `jobs` children in flight. This is what
+// makes fork-per-seed chaos sweeps cheap: one shared warm-up, then each
+// seed diverges from the identical in-memory state (bench_kernel measures
+// the speedup; test_checkpoint proves fork ≡ fresh run differentially).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace riv::checkpoint {
+
+struct ForkResult {
+  // False when fork(2) failed, the child died abnormally, or the payload
+  // could not be read back.
+  bool ok{false};
+  // Raw wait(2) status for post-mortems on !ok.
+  int status{0};
+  // Whatever the child's callback returned.
+  std::string payload;
+};
+
+// True on platforms with fork(2); false builds report failure instead.
+bool fork_supported();
+
+// Run `child` in a forked copy of this process; its return value is
+// written over a pipe and becomes `payload`. The child never returns to
+// the caller's code: it exits with _exit(0) as soon as the callback
+// finishes (no destructors, no atexit — the parent owns the real state).
+ForkResult fork_run(const std::function<std::string()>& child);
+
+// Run `child(i)` for i in [0, n) in forked children, at most `jobs`
+// alive at once (jobs==0 → 1). Results are indexed by i.
+std::vector<ForkResult> fork_sweep(
+    std::size_t n, std::size_t jobs,
+    const std::function<std::string(std::size_t)>& child);
+
+}  // namespace riv::checkpoint

@@ -74,6 +74,11 @@ class Rng {
     return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL));
   }
 
+  // The raw xoshiro256** state, exposed read-only so checkpoints can
+  // serialize a generator mid-stream (the state fully determines every
+  // future draw).
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -42,6 +42,21 @@ class GapStream {
   std::uint64_t polls_issued() const { return polls_issued_; }
   std::uint64_t staleness_reports() const { return staleness_reports_; }
 
+  // Serialize protocol state (dedup window in arrival order, epoch
+  // tracking, counters) for a checkpoint.
+  void checkpoint_state(BinaryWriter& w) const {
+    w.u32(first_epoch_);
+    w.u64(recent_order_.size());
+    for (EventId id : recent_order_) w.event_id(id);
+    w.u64(epochs_seen_.size());
+    for (std::uint32_t e : epochs_seen_) w.u32(e);
+    w.u64(ingested_);
+    w.u64(forwards_);
+    w.u64(discarded_);
+    w.u64(polls_issued_);
+    w.u64(staleness_reports_);
+  }
+
  private:
   // The process hosting the active logic node, per our local view.
   std::optional<ProcessId> app_bearing() const;

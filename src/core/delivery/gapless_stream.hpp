@@ -57,6 +57,21 @@ class GaplessStream {
   std::uint64_t polls_issued() const { return polls_issued_; }
   std::uint64_t staleness_reports() const { return staleness_reports_; }
 
+  // Serialize protocol state (epoch tracking, broadcast dedup, counters)
+  // for a checkpoint; event content lives in the EventLog.
+  void checkpoint_state(BinaryWriter& w) const {
+    w.u32(first_epoch_);
+    w.u64(epochs_seen_.size());
+    for (std::uint32_t e : epochs_seen_) w.u32(e);
+    w.u64(rb_done_.size());
+    for (EventId id : rb_done_) w.event_id(id);
+    w.u64(ingested_);
+    w.u64(ring_forwards_);
+    w.u64(rb_initiated_);
+    w.u64(polls_issued_);
+    w.u64(staleness_reports_);
+  }
+
  private:
   std::optional<ProcessId> ring_successor() const;
   void accept_new_event(const devices::SensorEvent& e, PidSet seen,

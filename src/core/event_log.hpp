@@ -74,6 +74,12 @@ class EventLog {
   // Rebuild in-memory state from stable storage (crash recovery).
   void recover();
 
+  // Serialize the full log — per-stream retention bounds, every stored
+  // event with its S/V sets, and the processed watermarks — for a
+  // checkpoint. All containers here are ordered, so this is a pure
+  // function of log content.
+  void checkpoint_state(BinaryWriter& w) const;
+
  private:
   // One per-sensor stream plus the bookkeeping that keeps the sync-path
   // queries (prefix_high_water, events_after) off O(n) scans: syncs run

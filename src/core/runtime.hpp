@@ -77,6 +77,11 @@ class RivuletProcess {
   // (extension; trigger handlers reach it via TriggerContext::put/get).
   store::ReplicatedStore& kv();
 
+  // Serialize the full protocol state of this process — stable store,
+  // per-origin sequence history, membership, replicated KV, and every
+  // app's log/delivery/execution/actuation state — for a checkpoint.
+  void checkpoint_state(BinaryWriter& w) const;
+
  private:
   struct StreamState {
     appmodel::SensorEdge edge;  // merged edge (strongest guarantee wins)

@@ -73,4 +73,30 @@ void Actuator::apply(const Command& cmd) {
       Applied{cmd.id, cmd.value, sim_->now(), accepted, cmd.cause});
 }
 
+void Actuator::checkpoint_state(BinaryWriter& w) const {
+  w.actuator_id(spec_.id);
+  for (std::uint64_t word : rng_.state()) w.u64(word);
+  w.u64(links_.size());
+  for (const auto& [p, loss] : links_) {
+    w.process_id(p);
+    w.f64(loss);
+  }
+  w.u8(crashed_ ? 1 : 0);
+  w.f64(state_);
+  w.u64(seen_.size());
+  for (CommandId id : seen_) w.command_id(id);
+  w.u64(history_.size());
+  for (const Applied& a : history_) {
+    w.command_id(a.id);
+    w.f64(a.value);
+    w.time_point(a.at);
+    w.u8(a.accepted ? 1 : 0);
+    w.provenance_id(a.cause);
+  }
+  w.u64(actions_);
+  w.u64(duplicate_deliveries_);
+  w.u64(unwarranted_actions_);
+  w.u64(rejected_tas_);
+}
+
 }  // namespace riv::devices

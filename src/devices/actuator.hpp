@@ -76,6 +76,10 @@ class Actuator {
   std::uint64_t unwarranted_actions() const { return unwarranted_actions_; }
   std::uint64_t rejected_test_and_set() const { return rejected_tas_; }
 
+  // Serialize device state (links, RNG stream, physical state, command
+  // dedup set, applied history, counters) for a checkpoint.
+  void checkpoint_state(BinaryWriter& w) const;
+
  private:
   void apply(const Command& cmd);
 

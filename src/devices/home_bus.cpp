@@ -163,4 +163,26 @@ void HomeBus::dispatch(ProcessId process, const SensorEvent& e) {
   if (up) it->second(e);
 }
 
+void HomeBus::perturb(std::uint64_t salt) {
+  sim_->rng() = sim_->rng().fork(salt);
+  std::uint64_t i = 1;
+  for (auto& [id, sensor] : sensors_) sensor->perturb(salt ^ (i++ << 32));
+}
+
+void HomeBus::checkpoint_state(BinaryWriter& w) const {
+  w.u64(sensors_.size());
+  for (const auto& [id, sensor] : sensors_) sensor->checkpoint_state(w);
+  w.u64(actuators_.size());
+  for (const auto& [id, actuator] : actuators_) actuator->checkpoint_state(w);
+  w.u64(adapters_.size());
+  for (const auto& [key, adapter] : adapters_) {
+    w.process_id(key.first);
+    w.u8(static_cast<std::uint8_t>(key.second));
+    w.u64(adapter.frames_received());
+    w.u64(adapter.frames_sent());
+  }
+  w.u64(handlers_.size());
+  for (const auto& [p, handler] : handlers_) w.process_id(p);
+}
+
 }  // namespace riv::devices

@@ -71,6 +71,16 @@ class HomeBus {
 
   sim::Simulation& sim() { return *sim_; }
 
+  // Serialize every device, adapter frame counters, and which processes
+  // are currently subscribed (handlers are closures; their presence is
+  // the state) for a checkpoint.
+  void checkpoint_state(BinaryWriter& w) const;
+
+  // Fork-divergence lever: salt every sensor's RNG stream (and the
+  // kernel's) so a forked copy of a warm home diverges deterministically
+  // — see Sensor::perturb.
+  void perturb(std::uint64_t salt);
+
  private:
   void dispatch(ProcessId process, const SensorEvent& e);
 

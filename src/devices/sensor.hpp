@@ -147,6 +147,17 @@ class Sensor {
   std::uint64_t polls_served() const { return polls_served_; }
   std::uint64_t battery_drain() const { return polls_received_; }
 
+  // Serialize device state (links, RNG stream, emission cursor, integrity
+  // chain and replay window, counters) for a checkpoint.
+  void checkpoint_state(BinaryWriter& w) const;
+
+  // Fork-divergence lever: replace the RNG stream with a salted child
+  // stream. Two forked copies of a warm deployment perturbed with
+  // different salts diverge from here on (loss draws, jitter, emission
+  // gaps) while sharing the identical warm-up — the replicate axis of
+  // fork-per-seed sweeps. Deterministic: same salt, same continuation.
+  void perturb(std::uint64_t salt) { rng_ = rng_.fork(salt); }
+
  private:
   struct Link {
     LinkParams params;

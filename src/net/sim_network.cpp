@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/codec.hpp"
 #include "common/log.hpp"
 #include "trace/trace.hpp"
 
@@ -305,6 +306,24 @@ void SimNetwork::transmit(Message msg) {
     trace_frame(*sim_, trace::Kind::kRecv, msg);
     ep->deliver(msg);
   });
+}
+
+void SimNetwork::checkpoint_state(BinaryWriter& w) const {
+  const std::size_t n = procs_.size();
+  w.u64(n);
+  for (const Proc& p : procs_) {
+    w.process_id(p.pid);
+    w.u8(p.up ? 1 : 0);
+    w.u8(p.up_set ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(p.group));
+  }
+  w.u32(static_cast<std::uint32_t>(up_count_));
+  w.u8(partitioned_ ? 1 : 0);
+  w.u64(in_flight_);
+  for (std::size_t e = 0; e < n * n; ++e) w.u8(edge_down_[e]);
+  for (std::size_t e = 0; e < n * n; ++e) w.i64(edge_delay_us_[e]);
+  for (std::size_t e = 0; e < n * n; ++e) w.f64(edge_loss_[e]);
+  for (std::size_t e = 0; e < n * n; ++e) w.i64(last_delivery_us_[e]);
 }
 
 }  // namespace riv::net

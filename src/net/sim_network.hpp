@@ -113,6 +113,14 @@ class SimNetwork {
   // Total frames currently in flight (for tests).
   std::size_t in_flight() const { return in_flight_; }
 
+  // Serialize the network's fault/liveness state for a checkpoint: the
+  // registered processes (registration order == dense index order, which
+  // is deterministic), liveness and partition groups, every directed-edge
+  // override matrix, and the per-pair FIFO clamps. Frames in the air are
+  // sim timer closures; the kernel checkpoint attests them as (id, t,
+  // seq) triples and in_flight_ is attested here as a count.
+  void checkpoint_state(BinaryWriter& w) const;
+
  private:
   class Endpoint;
 

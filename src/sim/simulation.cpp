@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "common/codec.hpp"
 #include "trace/trace.hpp"
 
 namespace riv::sim {
@@ -319,6 +320,34 @@ bool Simulation::fire_next(std::int64_t cap) {
 }
 
 bool Simulation::step() { return fire_next(kMaxTime); }
+
+void Simulation::checkpoint_state(BinaryWriter& w) const {
+  w.i64(now_.us);
+  w.u64(next_seq_);
+  w.u64(events_fired_);
+  w.u64(next_id_);
+  for (std::uint64_t word : rng_.state()) w.u64(word);
+  // A node is live iff the id ring still points at it and it was not
+  // cancelled (fire and cancel both clear the ring entry; freed slab
+  // slots keep stale ids that no longer resolve to them). The not-yet-
+  // fired tail of the current due_ batch still satisfies this.
+  std::vector<const Node*> live;
+  live.reserve(live_count_);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.cancelled || n.id == 0) continue;
+    if (id_lookup(n.id) != i) continue;
+    live.push_back(&n);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Node* a, const Node* b) { return a->seq < b->seq; });
+  w.u64(live.size());
+  for (const Node* n : live) {
+    w.u64(n->id);
+    w.i64(n->t);
+    w.u64(n->seq);
+  }
+}
 
 void Simulation::run_until(TimePoint t) {
   while (fire_next(t.us)) {

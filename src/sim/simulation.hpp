@@ -32,6 +32,10 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 
+namespace riv {
+class BinaryWriter;
+}
+
 namespace riv::sim {
 
 using TimerId = std::uint64_t;
@@ -73,6 +77,15 @@ class Simulation : public Clock {
   // Total callbacks dispatched since construction (bench_kernel's
   // events/sec numerator).
   std::uint64_t events_fired() const { return events_fired_; }
+
+  // Serialize the kernel's logical state for a checkpoint: virtual time,
+  // counters, the RNG stream, and every live timer as (id, t, seq) sorted
+  // by seq. Slab layout, slot chains, free lists, the overflow/wheel
+  // split, and tombstones are storage artifacts and deliberately excluded,
+  // so two kernels that would fire the same timers in the same order
+  // always serialize identically. Callbacks are closures and cannot be
+  // serialized — see checkpoint/rivc.hpp for how restore() handles that.
+  void checkpoint_state(BinaryWriter& w) const;
 
  private:
   // --- wheel geometry ----------------------------------------------------

@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/codec.hpp"
+
 namespace riv::sim {
 
 class StableStore {
@@ -35,6 +37,24 @@ class StableStore {
   void erase(const std::string& key) { data_.erase(key); }
   bool contains(const std::string& key) const { return data_.count(key) != 0; }
   std::size_t size() const { return data_.size(); }
+
+  // Serialize every (key, value) pair in lexicographic key order. The
+  // index is a hash map whose iteration order depends on insertion and
+  // rehash history, so the sort here is load-bearing: two stores holding
+  // the same pairs must checkpoint byte-identically no matter how they
+  // got there (pinned by CheckpointDeterminismPins.StableStoreOrder).
+  void checkpoint_state(BinaryWriter& w) const {
+    std::vector<const std::string*> keys;
+    keys.reserve(data_.size());
+    for (const auto& [key, value] : data_) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    w.u64(keys.size());
+    for (const std::string* key : keys) {
+      w.str(*key);
+      w.bytes(data_.find(*key)->second);
+    }
+  }
 
   // Keys with the given prefix, in lexicographic order (deterministic).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const {

@@ -81,6 +81,23 @@ class ReplicatedStore {
   std::uint64_t merges_applied() const { return merges_applied_; }
   std::uint64_t merges_ignored() const { return merges_ignored_; }
 
+  // Serialize every replicated register and the write counters for a
+  // checkpoint (entries_ is ordered, so this is content-deterministic).
+  void checkpoint_state(BinaryWriter& w) const {
+    w.u32(write_seq_);
+    w.u64(writes_);
+    w.u64(merges_applied_);
+    w.u64(merges_ignored_);
+    w.u64(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      w.str(key);
+      w.f64(e.value);
+      w.time_point(e.written_at);
+      w.u32(e.seq);
+      w.process_id(e.writer);
+    }
+  }
+
  private:
   bool merge(const std::string& key, const Entry& incoming);
   void persist(const std::string& key, const Entry& e);

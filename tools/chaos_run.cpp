@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "chaos/engine.hpp"
+#include "checkpoint/fork.hpp"
+#include "checkpoint/rivc.hpp"
+#include "checkpoint/scenario.hpp"
 
 namespace {
 
@@ -64,6 +67,20 @@ struct CliOptions {
   // second and save DIR/seed-N.metrics.csv for EVERY seed (a timeline is
   // useful even — especially — when the seed passes).
   std::string metrics_dir;
+  // Checkpoint the primary run every N virtual seconds: the run goes
+  // through the checkpointable-scenario layer (flight recording forced
+  // on, chunked run_to — behaviourally identical to one big run) and a
+  // RIVC snapshot lands at checkpoint_dir/seed-N-tS.rivc per boundary.
+  std::int64_t checkpoint_every_s{0};
+  std::string checkpoint_dir{"checkpoints"};
+  // Resume mode: load a .rivc file, restore (attested re-execution),
+  // run the remaining virtual time, report the outcome.
+  std::string from_checkpoint;
+  // Fork-per-seed sweep: warm ONE session (workload seed = first seed)
+  // to this many virtual seconds, then fork(2) a child per seed that
+  // arms that seed's fault plan against the shared in-memory state.
+  // < 0 means off.
+  std::int64_t fork_warmup_s{-1};
 };
 
 void usage(const char* argv0) {
@@ -99,6 +116,19 @@ void usage(const char* argv0) {
       "                        the run for every seed (bounded memory)\n"
       "  --metrics DIR         snapshot per-process counters every virtual\n"
       "                        second; save DIR/seed-N.metrics.csv per seed\n"
+      "  --checkpoint-every S  save a RIVC checkpoint of the primary run\n"
+      "                        every S virtual seconds (implies flight\n"
+      "                        recording; see --checkpoint-dir)\n"
+      "  --checkpoint-dir DIR  where checkpoints land as seed-N-tS.rivc\n"
+      "                        (default: checkpoints)\n"
+      "  --from-checkpoint F   restore F (attested re-execution), run the\n"
+      "                        remaining virtual time, report the outcome;\n"
+      "                        all scenario flags are read from the file\n"
+      "  --fork-sweep W        warm one session W virtual seconds, then\n"
+      "                        fork(2) a child per seed that arms that\n"
+      "                        seed's fault plan against the shared state\n"
+      "                        (workload seed = first seed; --jobs children\n"
+      "                        in flight)\n"
       "  --quiet               only print failures and the final summary\n",
       argv0);
 }
@@ -225,8 +255,8 @@ std::string repro_command(const CliOptions& cli, std::uint64_t seed) {
   return cmd;
 }
 
-chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed,
-                            bool primary = true) {
+chaos::EngineOptions build_engine_options(const CliOptions& cli,
+                                          std::uint64_t seed) {
   chaos::EngineOptions opt;
   opt.scenario.seed = seed;
   opt.scenario.guarantee = cli.guarantee;
@@ -239,6 +269,45 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed,
   opt.flight = !cli.trace_dir.empty() || cli.trace_ring_bytes > 0 ||
                !cli.stream_dir.empty();
   opt.flight_ring_bytes = cli.trace_ring_bytes;
+  if (!cli.metrics_dir.empty()) opt.metrics_period = seconds(1);
+  return opt;
+}
+
+// Primary-run variant that rides the checkpointable-scenario layer:
+// identical behaviour (chunked run_to ≡ one big run; flight recording is
+// passive), plus a RIVC snapshot saved at every --checkpoint-every
+// boundary. Any of those files feeds --from-checkpoint or riv_replay.
+chaos::ChaosResult run_checkpointed(const CliOptions& cli,
+                                    std::uint64_t seed,
+                                    chaos::EngineOptions opt) {
+  std::error_code ec;
+  std::filesystem::create_directories(cli.checkpoint_dir, ec);
+  std::unique_ptr<checkpoint::Scenario> sc =
+      checkpoint::make_chaos_scenario(std::move(opt));
+  sc->start();
+  const TimePoint end = sc->end_time();
+  for (std::int64_t k = 1;; ++k) {
+    const std::int64_t at_s = k * cli.checkpoint_every_s;
+    const TimePoint t = TimePoint{} + seconds(at_s);
+    if (!(t < end)) break;
+    sc->run_to(t);
+    checkpoint::Snapshot snap = sc->capture();
+    const std::string path = cli.checkpoint_dir + "/seed-" +
+                             std::to_string(seed) + "-t" +
+                             std::to_string(at_s) + ".rivc";
+    std::string err;
+    if (!checkpoint::save(snap, path, &err))
+      std::fprintf(stderr, "seed %llu: checkpoint save failed: %s\n",
+                   static_cast<unsigned long long>(seed), err.c_str());
+  }
+  sc->run_to(end);
+  sc->finish();
+  return *sc->chaos_result();
+}
+
+chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed,
+                            bool primary = true) {
+  chaos::EngineOptions opt = build_engine_options(cli, seed);
   // Only the primary run streams to disk; the determinism re-run would
   // otherwise overwrite the same artifact mid-flight.
   if (primary && !cli.stream_dir.empty()) {
@@ -247,7 +316,11 @@ chaos::ChaosResult run_once(const CliOptions& cli, std::uint64_t seed,
     opt.flight_stream_path =
         cli.stream_dir + "/seed-" + std::to_string(seed) + ".rivtrace";
   }
-  if (!cli.metrics_dir.empty()) opt.metrics_period = seconds(1);
+  // The determinism re-run stays on the plain engine path on purpose:
+  // matching fault-trace hashes then also prove the checkpointed chunked
+  // run is equivalent to the uninterrupted one.
+  if (primary && cli.checkpoint_every_s > 0)
+    return run_checkpointed(cli, seed, std::move(opt));
   chaos::ChaosEngine engine(opt);
   if (cli.demo_violation)
     engine.add_invariant(std::make_unique<DemoViolation>());
@@ -363,6 +436,113 @@ bool report_outcome(const CliOptions& cli, const SeedOutcome& o) {
   return failed;
 }
 
+// --from-checkpoint: load → restore (attested) → run the tail → report.
+// Every scenario parameter comes from the file; the usual scenario flags
+// are ignored. Exit 0 clean, 1 violation / failed attestation, 2 on an
+// unreadable or malformed file.
+int run_from_checkpoint(const CliOptions& cli) {
+  checkpoint::Snapshot snap;
+  std::string err;
+  if (!checkpoint::load(cli.from_checkpoint, &snap, &err)) {
+    std::fprintf(stderr, "%s: %s\n", cli.from_checkpoint.c_str(),
+                 err.c_str());
+    return 2;
+  }
+  std::printf("checkpoint: scenario=%s seed=%llu at=%.3fs sections=%zu "
+              "trace_records=%llu\n",
+              snap.scenario.c_str(),
+              static_cast<unsigned long long>(snap.seed),
+              static_cast<double>((snap.at - TimePoint{}).us) / 1e6,
+              snap.sections.size(),
+              static_cast<unsigned long long>(snap.trace_records));
+  checkpoint::RestoreReport rep = checkpoint::restore(snap);
+  if (!rep.ok) {
+    std::fprintf(stderr, "restore FAILED: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("restore attested: all sections byte-identical "
+              "(restored ≡ uninterrupted)\n");
+  checkpoint::Scenario& sc = *rep.scenario;
+  sc.run_to(sc.end_time());
+  sc.finish();
+  const chaos::ChaosResult* cr = sc.chaos_result();
+  if (cr == nullptr) {
+    // A golden home scenario: no engine verdict, just the trace identity.
+    std::printf("%s: %s\n", sc.name().c_str(), sc.summary().c_str());
+    return 0;
+  }
+  CliOptions report = cli;
+  report.verify_determinism = false;  // single resumed run, nothing to diff
+  SeedOutcome o;
+  o.seed = snap.seed;
+  o.result = *cr;
+  return report_outcome(report, o) ? 1 : 0;
+}
+
+// --fork-sweep W: one warm-up shared by every seed, then fork(2)-per-seed
+// divergence. The workload seed is seeds[0]; each child arms seed i's
+// fault plan at the fork point, so the sweep varies the fault schedule
+// over an identical in-memory warm state (test_checkpoint proves each
+// child's outcome equals a fresh run of the same configuration).
+int run_fork_sweep(const CliOptions& cli) {
+  if (!checkpoint::fork_supported()) {
+    std::fprintf(stderr, "--fork-sweep needs fork(2); unsupported here\n");
+    return 2;
+  }
+  chaos::EngineOptions opt = build_engine_options(cli, cli.seeds[0]);
+  opt.defer_plan = true;
+  const Duration warmup = seconds(cli.fork_warmup_s);
+  chaos::ChaosSession warm(std::move(opt));
+  warm.run_to(TimePoint{} + warmup);
+  if (!cli.quiet)
+    std::printf("fork-sweep: workload seed %llu warmed to %llds; forking "
+                "%zu plan seeds (%d jobs)\n",
+                static_cast<unsigned long long>(cli.seeds[0]),
+                static_cast<long long>(cli.fork_warmup_s),
+                cli.seeds.size(), cli.jobs);
+  std::vector<checkpoint::ForkResult> results = checkpoint::fork_sweep(
+      cli.seeds.size(), static_cast<std::size_t>(cli.jobs),
+      [&cli, &warm, warmup](std::size_t i) {
+        warm.arm_plan(cli.seeds[i], warmup);
+        warm.run_to(warm.run_end());
+        chaos::ChaosResult r;
+        warm.finish(r);
+        std::string line =
+            "seed " + std::to_string(cli.seeds[i]) +
+            (r.ok() ? ": ok" : ": FAIL") +
+            "  faults=" + std::to_string(r.faults_injected) +
+            " noop=" + std::to_string(r.faults_noop) +
+            (r.byzantine_attacks > 0
+                 ? " byz=" + std::to_string(r.byzantine_attacks)
+                 : "") +
+            " emitted=" + std::to_string(r.emitted) +
+            " ingested=" + std::to_string(r.ingested) +
+            " delivered=" + std::to_string(r.delivered) +
+            " trace=" + r.trace_digest;
+        for (const chaos::Violation& v : r.violations)
+          line += "\n  " + chaos::to_string(v);
+        if (!r.quiesced) line += "\n  drain did not reach quiescence";
+        return line;
+      });
+  std::uint64_t failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const checkpoint::ForkResult& fr = results[i];
+    const bool failed = !fr.ok ||
+                        fr.payload.find(": FAIL") != std::string::npos;
+    if (!fr.ok) {
+      std::printf("seed %llu: FAIL (forked child died, status %d)\n",
+                  static_cast<unsigned long long>(cli.seeds[i]), fr.status);
+    } else if (!cli.quiet || failed) {
+      std::printf("%s\n", fr.payload.c_str());
+    }
+    if (failed) ++failures;
+  }
+  std::printf("%llu/%llu seeds clean\n",
+              static_cast<unsigned long long>(cli.seeds.size() - failures),
+              static_cast<unsigned long long>(cli.seeds.size()));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -428,6 +608,22 @@ int main(int argc, char** argv) {
       cli.stream_dir = next();
     } else if (arg == "--metrics") {
       cli.metrics_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      cli.checkpoint_every_s = std::atoll(next());
+      if (cli.checkpoint_every_s < 1) {
+        std::fprintf(stderr, "bad --checkpoint-every interval\n");
+        return 2;
+      }
+    } else if (arg == "--checkpoint-dir") {
+      cli.checkpoint_dir = next();
+    } else if (arg == "--from-checkpoint") {
+      cli.from_checkpoint = next();
+    } else if (arg == "--fork-sweep") {
+      cli.fork_warmup_s = std::atoll(next());
+      if (cli.fork_warmup_s < 1) {
+        std::fprintf(stderr, "bad --fork-sweep warm-up\n");
+        return 2;
+      }
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -444,6 +640,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad scenario parameters\n");
     return 2;
   }
+  if (cli.checkpoint_every_s > 0 && cli.demo_violation) {
+    // The demo invariant is injected into the engine directly; it has no
+    // place in a (name, seed, params)-identified checkpointable run.
+    std::fprintf(stderr,
+                 "--checkpoint-every and --demo-violation are exclusive\n");
+    return 2;
+  }
+  if (!cli.from_checkpoint.empty()) return run_from_checkpoint(cli);
+  if (cli.fork_warmup_s >= 0) return run_fork_sweep(cli);
 
   const std::vector<std::uint64_t>& seeds = cli.seeds;
 
