@@ -8,48 +8,26 @@
 // measured traffic is purely the delivery service's.
 #pragma once
 
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "trace/trace.hpp"
 #include "workload/apps.hpp"
 #include "workload/deployment.hpp"
 
 namespace riv::bench {
 
-// Fan a list of independent deterministic simulation runs across a thread
-// pool. `fn(i)` runs the i-th item and returns its result; results come
-// back indexed exactly like the input, so a parallel sweep is a drop-in
-// replacement for a serial loop. Each simulation is fully self-contained
-// (own Simulation, Registry, thread-local trace recorder), so per-item
-// results are bit-identical to a serial run; only wall-clock changes.
-// jobs <= 1 degrades to the plain serial loop.
-template <typename R>
-std::vector<R> parallel_map(int jobs, std::size_t n,
-                            const std::function<R(std::size_t)>& fn) {
-  std::vector<R> results(n);
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
-      results[i] = fn(i);
-  };
-  std::vector<std::thread> pool;
-  int spawn = jobs < static_cast<int>(n) ? jobs : static_cast<int>(n);
-  for (int t = 0; t < spawn; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  return results;
-}
+// parallel_map grew up and moved to src/common/parallel.hpp (the fleet
+// layer shards millions of homes through it); benches keep using it under
+// the old name. Dynamic atomic-counter work queue, ordered results
+// byte-identical to a serial run, jobs == 0 auto-detects cores.
+using riv::parallel_map;
+using riv::resolve_jobs;
 
 // Where bench artifacts (counter dumps, trace files) go. Every bench
 // binary accepts `--out DIR`; without it no files are written at all —

@@ -1,0 +1,80 @@
+// Shared-nothing fan-out of independent deterministic work items.
+//
+// parallel_map began life in bench/bench_util.hpp as the seed-sweep
+// helper; the fleet layer (src/fleet) promotes it here because fleet runs
+// shard millions of independent home simulations across cores and every
+// CLI (`chaos_run --jobs`, `fleet_run --jobs`, bench_kernel) wants the
+// same contract:
+//
+//   * items are claimed from an atomic-counter dynamic work queue, one at
+//     a time, so heterogeneous item costs (a 2-process home next to an
+//     8-process one) never leave a worker idle while another drags a
+//     statically assigned chunk;
+//   * results come back indexed exactly like the inputs, so a parallel
+//     run is a drop-in replacement for the serial loop and — because each
+//     item is a fully self-contained simulation — byte-identical to it;
+//   * jobs == 0 auto-detects hardware_concurrency();
+//   * an exception thrown by any item is re-thrown on the calling thread
+//     (first one wins; remaining workers stop claiming new items).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace riv {
+
+// 0 → one worker per hardware thread (at least 1); positive values pass
+// through untouched. The CLIs expose this as `--jobs 0`.
+inline int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Run fn(0..n-1) across `jobs` worker threads (0 = auto-detect) and
+// return the results in input order. fn must be callable concurrently
+// from multiple threads on distinct indices; each invocation should be a
+// self-contained deterministic unit (own Simulation, Registry,
+// thread-local trace recorder) so the result vector is bit-identical to
+// the jobs=1 serial loop.
+template <typename R, typename Fn>
+std::vector<R> parallel_map(int jobs, std::size_t n, Fn&& fn) {
+  jobs = resolve_jobs(jobs);
+  std::vector<R> results(n);
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  std::size_t spawn = std::min<std::size_t>(static_cast<std::size_t>(jobs), n);
+  pool.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace riv

@@ -12,6 +12,27 @@
 
 namespace riv {
 
+// The SplitMix64 finalizer (Steele, Lea & Flood / Stafford mix13): an
+// invertible bit-mixing bijection over u64. Shared by Rng seeding and
+// fleet seed derivation.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Derive the index-th child seed of a root seed, SplitMix64-style: one
+// golden-ratio stride per index, then the finalizer. Collision-free by
+// construction — for a fixed root, (index + 1) * GOLDEN is injective in
+// `index` (odd multiplier mod 2^64) and the mix is a bijection, so all
+// 2^64 indices map to distinct seeds. The fleet layer leans on this: one
+// fleet seed fans out into a million per-home seeds with zero
+// coordination, and test_fleet pins the mapping's digest so it can never
+// silently change (every per-home workload would shift with it).
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+  return splitmix64_mix(root + (index + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
@@ -19,10 +40,7 @@ class Rng {
     std::uint64_t x = seed;
     for (auto& s : state_) {
       x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      s = z ^ (z >> 31);
+      s = splitmix64_mix(x);
     }
   }
 

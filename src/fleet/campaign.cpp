@@ -1,0 +1,171 @@
+#include "fleet/campaign.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace riv::fleet {
+
+namespace {
+
+// Domain-separation salts so the region map, event membership draws and
+// per-home workload seeds are independent streams of one fleet seed.
+constexpr std::uint64_t kRegionSalt = 0x52656769'6f6e5331ULL;
+constexpr std::uint64_t kEventSalt = 0x4576656e'74533142ULL;
+
+// Uniform [0,1) from a mixed 64-bit state (same mantissa trick as Rng).
+double unit_from(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+const char* to_string(CampaignFault kind) {
+  switch (kind) {
+    case CampaignFault::kWifiOutage: return "wifi-outage";
+    case CampaignFault::kPowerBlip: return "power-blip";
+    case CampaignFault::kSensorDegrade: return "sensor-degrade";
+  }
+  return "?";
+}
+
+int home_region(const CampaignPlan& plan, std::uint64_t fleet_seed,
+                std::uint64_t home_index) {
+  if (plan.n_regions <= 1) return 0;
+  std::uint64_t h = splitmix64_mix(derive_seed(fleet_seed ^ kRegionSalt,
+                                               home_index));
+  return static_cast<int>(h % static_cast<std::uint64_t>(plan.n_regions));
+}
+
+bool event_hits_home(const CampaignPlan& plan, std::size_t event_index,
+                     std::uint64_t fleet_seed, std::uint64_t home_index) {
+  if (event_index >= plan.events.size()) return false;
+  const CampaignEvent& ev = plan.events[event_index];
+  if (ev.fraction <= 0.0) return false;
+  if (ev.region >= 0 &&
+      home_region(plan, fleet_seed, home_index) != ev.region)
+    return false;
+  // One independent draw per (event, home): derive an event-specific root
+  // first so neighbouring events never share a stream.
+  std::uint64_t root = derive_seed(fleet_seed ^ kEventSalt, event_index);
+  return unit_from(derive_seed(root, home_index)) < ev.fraction;
+}
+
+chaos::FaultPlan stamp_home_plan(const CampaignPlan& plan,
+                                 std::uint64_t fleet_seed,
+                                 const HomeSpec& home) {
+  chaos::FaultPlan out;
+  out.seed = home.seed;
+  out.options.n_processes = home.n_processes;
+  for (std::size_t e = 0; e < plan.events.size(); ++e) {
+    if (!event_hits_home(plan, e, fleet_seed, home.index)) continue;
+    const CampaignEvent& ev = plan.events[e];
+    const TimePoint begin = TimePoint{} + ev.at;
+    const TimePoint end = begin + ev.duration;
+    auto pid = [](int index) {
+      return ProcessId{static_cast<std::uint16_t>(index + 1)};
+    };
+    switch (ev.kind) {
+      case CampaignFault::kWifiOutage:
+        // Sever every directed process edge, restore all at heal time.
+        for (int a = 0; a < home.n_processes; ++a) {
+          for (int b = 0; b < home.n_processes; ++b) {
+            if (a == b) continue;
+            chaos::FaultAction down;
+            down.at = begin;
+            down.kind = chaos::FaultKind::kEdgeDown;
+            down.a = pid(a);
+            down.b = pid(b);
+            out.actions.push_back(down);
+            chaos::FaultAction up = down;
+            up.at = end;
+            up.kind = chaos::FaultKind::kEdgeUp;
+            out.actions.push_back(up);
+          }
+        }
+        break;
+      case CampaignFault::kPowerBlip:
+        for (int a = 1; a < home.n_processes; ++a) {
+          chaos::FaultAction crash;
+          crash.at = begin;
+          crash.kind = chaos::FaultKind::kCrashProcess;
+          crash.a = pid(a);
+          out.actions.push_back(crash);
+          chaos::FaultAction recover = crash;
+          recover.at = end;
+          recover.kind = chaos::FaultKind::kRecoverProcess;
+          out.actions.push_back(recover);
+        }
+        break;
+      case CampaignFault::kSensorDegrade:
+        for (const HomeSpec::SensorPlan& sp : home.sensors) {
+          for (int r : sp.receivers) {
+            chaos::FaultAction degrade;
+            degrade.at = begin;
+            degrade.kind = chaos::FaultKind::kDeviceLinkLoss;
+            degrade.sensor = sp.spec.id;
+            degrade.b = pid(r);
+            degrade.value = 0.9;
+            out.actions.push_back(degrade);
+            chaos::FaultAction restore = degrade;
+            restore.at = end;
+            restore.value = -1.0;  // back to the pre-chaos baseline
+            out.actions.push_back(restore);
+          }
+        }
+        break;
+    }
+    if (end > TimePoint{} + out.options.horizon)
+      out.options.horizon = end - TimePoint{};
+  }
+  // Plan contract: actions sorted by time, ties kept in emit order.
+  std::stable_sort(out.actions.begin(), out.actions.end(),
+                   [](const chaos::FaultAction& x,
+                      const chaos::FaultAction& y) { return x.at < y.at; });
+  return out;
+}
+
+TimePoint last_heal_time(const CampaignPlan& plan, std::uint64_t fleet_seed,
+                         std::uint64_t home_index) {
+  TimePoint last{};
+  for (std::size_t e = 0; e < plan.events.size(); ++e) {
+    if (!event_hits_home(plan, e, fleet_seed, home_index)) continue;
+    const CampaignEvent& ev = plan.events[e];
+    last = std::max(last, TimePoint{} + ev.at + ev.duration);
+  }
+  return last;
+}
+
+bool parse_campaign_event(const std::string& spec, CampaignEvent& out) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) colon = spec.size();
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  if (parts.size() < 4 || parts.size() > 5) return false;
+  if (parts[0] == "wifi") {
+    out.kind = CampaignFault::kWifiOutage;
+  } else if (parts[0] == "power") {
+    out.kind = CampaignFault::kPowerBlip;
+  } else if (parts[0] == "rf") {
+    out.kind = CampaignFault::kSensorDegrade;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  double at_s = std::strtod(parts[1].c_str(), &end);
+  if (end == parts[1].c_str() || at_s < 0) return false;
+  double dur_s = std::strtod(parts[2].c_str(), &end);
+  if (end == parts[2].c_str() || dur_s <= 0) return false;
+  double fraction = std::strtod(parts[3].c_str(), &end);
+  if (end == parts[3].c_str() || fraction <= 0 || fraction > 1) return false;
+  out.at = microseconds(static_cast<std::int64_t>(at_s * 1e6));
+  out.duration = microseconds(static_cast<std::int64_t>(dur_s * 1e6));
+  out.fraction = fraction;
+  out.region = parts.size() == 5 ? std::atoi(parts[4].c_str()) : -1;
+  return true;
+}
+
+}  // namespace riv::fleet

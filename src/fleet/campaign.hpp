@@ -1,0 +1,83 @@
+// Fleet-level chaos campaigns: correlated faults across a population.
+//
+// A single home's chaos comes from seeded FaultPlans (src/chaos); a fleet
+// fails differently — "WiFi drops across 5% of homes in minute 12", "a
+// power blip hits region 3". A CampaignPlan states those incidents once,
+// fleet-wide; stamp_home_plan() then projects the campaign onto one home
+// as an ordinary chaos::FaultPlan, so the per-home injector machinery
+// (trace recording, noop accounting, determinism hashes) is reused
+// unchanged. Membership draws — which homes an event samples — are pure
+// functions of (fleet_seed, event, home_index): no shared state, no
+// ordering sensitivity, identical under any sharding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "fleet/population.hpp"
+
+namespace riv::fleet {
+
+enum class CampaignFault : std::uint8_t {
+  // Home WiFi down: every process-to-process edge severed for the
+  // duration; device radios (Zigbee/Z-Wave/BLE/IP links to sensors) keep
+  // working, so ingest continues and delivery rides out the outage on
+  // local logic + post-heal anti-entropy.
+  kWifiOutage,
+  // Power blip: every host except p1 crashes, then recovers. (At least
+  // one correct process, per §3.1's fault model.)
+  kPowerBlip,
+  // RF degradation: every sensor link's loss jumps to 0.9, then returns
+  // to its sampled baseline.
+  kSensorDegrade,
+};
+
+const char* to_string(CampaignFault kind);
+
+// One correlated incident: at `at` (fleet virtual time), a Bernoulli
+// `fraction` of the in-scope homes (all homes, or one region) suffers
+// `kind` for `duration`.
+struct CampaignEvent {
+  CampaignFault kind{CampaignFault::kWifiOutage};
+  Duration at{};
+  Duration duration{seconds(30)};
+  double fraction{0.05};
+  int region{-1};  // -1 = fleet-wide; else only homes in this region
+};
+
+struct CampaignPlan {
+  int n_regions{16};
+  std::vector<CampaignEvent> events;
+  bool empty() const { return events.empty(); }
+};
+
+// Stable region assignment: uniform over [0, n_regions), a pure function
+// of (fleet_seed, home_index).
+int home_region(const CampaignPlan& plan, std::uint64_t fleet_seed,
+                std::uint64_t home_index);
+
+// Does event `event_index` of the plan sample this home? Region scope
+// plus an independent per-(event, home) Bernoulli draw at
+// events[event_index].fraction.
+bool event_hits_home(const CampaignPlan& plan, std::size_t event_index,
+                     std::uint64_t fleet_seed, std::uint64_t home_index);
+
+// Project the campaign onto one home: a chaos::FaultPlan holding the
+// actions of every event that samples it (empty when none do), actions
+// sorted by time with fault/heal pairs. Feed to chaos::FaultInjector.
+chaos::FaultPlan stamp_home_plan(const CampaignPlan& plan,
+                                 std::uint64_t fleet_seed,
+                                 const HomeSpec& home);
+
+// Virtual time the last fault affecting this home heals (zero when no
+// event samples it) — the survival probe point (src/fleet/fleet.hpp).
+TimePoint last_heal_time(const CampaignPlan& plan, std::uint64_t fleet_seed,
+                         std::uint64_t home_index);
+
+// Parse "kind:at_s:dur_s:fraction[:region]" (kind = wifi | power | rf),
+// the fleet_run --campaign syntax. Returns false on a malformed spec.
+bool parse_campaign_event(const std::string& spec, CampaignEvent& out);
+
+}  // namespace riv::fleet

@@ -1,0 +1,269 @@
+#include "fleet/fleet.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "chaos/injector.hpp"
+#include "chaos/trace.hpp"
+#include "common/hash.hpp"
+#include "common/parallel.hpp"
+
+namespace riv::fleet {
+
+namespace {
+
+void fnv_u64(hash::Fnv1aStream& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b)
+    h.put(static_cast<std::uint8_t>((v >> (8 * b)) & 0xff));
+}
+
+void fnv_i64(hash::Fnv1aStream& h, std::int64_t v) {
+  fnv_u64(h, static_cast<std::uint64_t>(v));
+}
+
+// Everything one shard (a contiguous run of home indices) produces;
+// combined on the main thread in shard order so the fleet result never
+// depends on worker scheduling.
+struct ShardResult {
+  metrics::Registry merged;
+  std::vector<std::uint64_t> fault_hashes;  // one per home, index order
+  std::vector<HomeOutcome> rows;
+  std::uint64_t processes{0};
+  std::uint64_t sensors{0};
+  std::uint64_t sim_events{0};
+  std::uint64_t emitted{0};
+  std::uint64_t delivered{0};
+  std::uint64_t faults_injected{0};
+  std::uint64_t homes_hit{0};
+  std::uint64_t homes_hit_survived{0};
+  std::uint64_t homes_survived{0};
+};
+
+HomeOutcome run_one_home(const FleetOptions& opt, std::uint64_t index,
+                         metrics::Registry& shard_merged) {
+  const HomeSpec spec = sample_home(opt.population, opt.seed, index);
+  std::unique_ptr<workload::HomeDeployment> home = build_home(spec);
+
+  HomeOutcome out;
+  out.seed = spec.seed;
+  out.n_processes = static_cast<std::uint32_t>(spec.n_processes);
+  out.n_sensors = static_cast<std::uint32_t>(spec.sensors.size());
+
+  // Campaign projection: arm this home's stamped fault plan (if any
+  // event sampled it) and plant the survival probe at the last heal.
+  chaos::TraceRecorder fault_trace;
+  chaos::FaultInjector injector(*home, fault_trace);
+  std::uint64_t delivered_at_heal = 0;
+  bool probed = false;
+  const TimePoint sim_end = TimePoint{} + spec.sim_duration;
+  if (!opt.campaign.empty()) {
+    chaos::FaultPlan plan = stamp_home_plan(opt.campaign, opt.seed, spec);
+    if (!plan.actions.empty()) {
+      out.hit = true;
+      injector.arm(plan);
+      const TimePoint heal = last_heal_time(opt.campaign, opt.seed, index);
+      if (heal < sim_end) {
+        workload::HomeDeployment* h = home.get();
+        home->sim().schedule_at(heal, [h, &delivered_at_heal, &probed] {
+          delivered_at_heal = total_delivered(h->metrics());
+          probed = true;
+        });
+      }
+    }
+  }
+
+  home->start();
+  home->run_for(spec.sim_duration);
+
+  const metrics::Registry& m = home->metrics();
+  out.delivered = total_delivered(m);
+  out.sim_events = home->sim().events_fired();
+  for (SensorId s : home->bus().sensors())
+    out.emitted += home->bus().sensor(s).events_emitted();
+  out.faults_injected =
+      static_cast<std::uint32_t>(injector.injected() + injector.noops());
+  if (out.hit) {
+    out.fault_hash = fault_trace.hash();
+    // Survived = delivered after the last fault healed. An outage that
+    // outlives the home's window never gets a post-heal probe and counts
+    // as not survived.
+    out.survived = probed && out.delivered > delivered_at_heal;
+  } else {
+    out.survived = out.delivered > 0;
+  }
+  shard_merged.merge_scalars_from(m);
+  return out;
+}
+
+ShardResult run_shard(const FleetOptions& opt, std::uint64_t first,
+                      std::uint64_t last) {
+  ShardResult shard;
+  shard.fault_hashes.reserve(last - first);
+  for (std::uint64_t i = first; i < last; ++i) {
+    HomeOutcome row = run_one_home(opt, i, shard.merged);
+    shard.fault_hashes.push_back(row.fault_hash);
+    shard.processes += row.n_processes;
+    shard.sensors += row.n_sensors;
+    shard.sim_events += row.sim_events;
+    shard.emitted += row.emitted;
+    shard.delivered += row.delivered;
+    shard.faults_injected += row.faults_injected;
+    if (row.hit) {
+      ++shard.homes_hit;
+      if (row.survived) ++shard.homes_hit_survived;
+    } else if (row.survived) {
+      ++shard.homes_survived;
+    }
+    if (opt.keep_home_rows) shard.rows.push_back(row);
+  }
+  return shard;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetOptions& opt) {
+  const std::uint64_t shard_size = opt.shard_size > 0 ? opt.shard_size : 64;
+  const std::uint64_t n_shards =
+      opt.homes == 0 ? 0 : (opt.homes + shard_size - 1) / shard_size;
+
+  std::vector<ShardResult> shards = parallel_map<ShardResult>(
+      opt.jobs, n_shards, [&opt, shard_size](std::size_t s) {
+        const std::uint64_t first = s * shard_size;
+        const std::uint64_t last =
+            std::min<std::uint64_t>(first + shard_size, opt.homes);
+        return run_shard(opt, first, last);
+      });
+
+  FleetResult r;
+  r.homes = opt.homes;
+  hash::Fnv1aStream digest;
+  for (ShardResult& shard : shards) {
+    r.merged.merge_scalars_from(shard.merged);
+    r.processes += shard.processes;
+    r.sensors += shard.sensors;
+    r.sim_events += shard.sim_events;
+    r.emitted += shard.emitted;
+    r.delivered += shard.delivered;
+    r.faults_injected += shard.faults_injected;
+    r.homes_hit += shard.homes_hit;
+    r.homes_hit_survived += shard.homes_hit_survived;
+    r.homes_survived += shard.homes_survived;
+    for (std::uint64_t h : shard.fault_hashes) fnv_u64(digest, h);
+    if (opt.keep_home_rows)
+      r.rows.insert(r.rows.end(), shard.rows.begin(), shard.rows.end());
+  }
+  r.fault_digest = digest.value();
+  return r;
+}
+
+std::uint64_t total_delivered(const metrics::Registry& reg) {
+  static constexpr char kSuffix[] = ".delivered";
+  constexpr std::size_t kLen = sizeof(kSuffix) - 1;
+  std::uint64_t total = 0;
+  for (const auto& [name, counter] : reg.counters()) {
+    if (name.size() >= kLen &&
+        name.compare(name.size() - kLen, kLen, kSuffix) == 0)
+      total += counter.value();
+  }
+  return total;
+}
+
+std::uint64_t registry_fingerprint(const metrics::Registry& reg) {
+  hash::Fnv1aStream h;
+  for (const auto& [name, counter] : reg.counters()) {
+    h.put(name.data(), name.size());
+    fnv_u64(h, counter.value());
+  }
+  for (const auto& [name, lat] : reg.latencies()) {
+    h.put(name.data(), name.size());
+    const metrics::Histogram& hist = lat.hist();
+    fnv_u64(h, hist.count());
+    fnv_u64(h, hist.overflow());
+    fnv_i64(h, hist.sum_us());
+    fnv_i64(h, hist.min().us);
+    fnv_i64(h, hist.max().us);
+    for (std::uint64_t b : hist.buckets()) fnv_u64(h, b);
+  }
+  return h.value();
+}
+
+Dashboard make_dashboard(const FleetResult& r, double wall_s, int jobs) {
+  Dashboard d;
+  if (wall_s > 0) {
+    d.homes_per_sec = static_cast<double>(r.homes) / wall_s;
+    d.events_per_sec_per_core = static_cast<double>(r.sim_events) /
+                                (wall_s * (jobs > 0 ? jobs : 1));
+  }
+  if (r.homes > 0) {
+    d.bytes_per_home =
+        static_cast<double>(r.merged.counter_sum("net.bytes.")) /
+        static_cast<double>(r.homes);
+  }
+  if (r.homes_hit > 0) {
+    // Survival over the homes the campaign actually touched: the number
+    // every correlated-outage experiment is after.
+    d.survival_rate = static_cast<double>(r.homes_hit_survived) /
+                      static_cast<double>(r.homes_hit);
+  }
+  // Population delivery latency: every home's app delay histograms merged.
+  metrics::Histogram delay;
+  for (const auto& [name, lat] : r.merged.latencies()) {
+    if (name.size() >= 6 &&
+        name.compare(name.size() - 6, 6, ".delay") == 0)
+      delay.merge(lat.hist());
+  }
+  d.delay_p50 = delay.percentile(0.50);
+  d.delay_p99 = delay.percentile(0.99);
+  d.delay_max = delay.max();
+  return d;
+}
+
+std::string render_dashboard(const FleetResult& r, const Dashboard& d) {
+  char buf[1024];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "homes           %12llu   (%llu processes, %llu sensors)\n",
+                static_cast<unsigned long long>(r.homes),
+                static_cast<unsigned long long>(r.processes),
+                static_cast<unsigned long long>(r.sensors));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "events          %12llu sim   %llu emitted   %llu delivered\n",
+                static_cast<unsigned long long>(r.sim_events),
+                static_cast<unsigned long long>(r.emitted),
+                static_cast<unsigned long long>(r.delivered));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "throughput      %12.0f homes/s   %.0f events/s/core\n",
+                d.homes_per_sec, d.events_per_sec_per_core);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "delivery delay  p50 %.2fms   p99 %.2fms   max %.2fms\n",
+                d.delay_p50.millis(), d.delay_p99.millis(),
+                d.delay_max.millis());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "network         %.0f bytes/home\n",
+                d.bytes_per_home);
+  out += buf;
+  if (r.homes_hit > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "chaos           %llu homes hit (%.2f%%)   %llu faults   "
+        "survival %.2f%%\n",
+        static_cast<unsigned long long>(r.homes_hit),
+        100.0 * static_cast<double>(r.homes_hit) /
+            static_cast<double>(r.homes),
+        static_cast<unsigned long long>(r.faults_injected),
+        100.0 * d.survival_rate);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "digest          faults=%s metrics=%s\n",
+                hash::fnv1a_digest(r.fault_digest).c_str(),
+                hash::fnv1a_digest(registry_fingerprint(r.merged)).c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace riv::fleet

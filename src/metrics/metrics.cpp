@@ -43,6 +43,13 @@ void Registry::merge_from(const Registry& other) {
     series_[name].merge_from(ts);
 }
 
+void Registry::merge_scalars_from(const Registry& other) {
+  for (const auto& [name, counter] : other.counters_)
+    counters_[name].add(counter.value());
+  for (const auto& [name, lat] : other.latencies_)
+    latencies_[name].merge(lat);
+}
+
 void Registry::reset() {
   counters_.clear();
   latencies_.clear();

@@ -103,6 +103,14 @@ class Histogram {
 
   void reset() { *this = Histogram{}; }
 
+  // Raw bucket counts, exposed read-only so fleet-scale aggregation can
+  // fingerprint a merged histogram exactly (registry_fingerprint) instead
+  // of through lossy percentile readouts.
+  const std::array<std::uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+  std::int64_t sum_us() const { return sum_; }
+
  private:
   static int bucket_index(std::int64_t v) {
     if (v < kSubBuckets) return static_cast<int>(v);
@@ -234,6 +242,17 @@ class Registry {
   // merge bucket-wise, series interleave in time order. The basis of the
   // deployment-wide aggregate view over per-process registries.
   void merge_from(const Registry& other);
+
+  // Counters + latency histograms only, skipping time series. Integer
+  // adds and bucket-wise histogram adds are exactly associative and
+  // commutative, so the result is bit-identical no matter what order (or
+  // tree shape) registries are folded in — the property fleet-scale
+  // aggregation leans on when worker threads merge shard results, and
+  // test_metrics pins over 1k randomized registries. (Full merge_from is
+  // order-invariant only up to time-ordered series tie interleave, and a
+  // million homes' worth of per-delivery series points would dwarf the
+  // scalar state anyway.)
+  void merge_scalars_from(const Registry& other);
 
   void reset();
 

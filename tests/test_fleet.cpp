@@ -1,0 +1,295 @@
+// Fleet layer: seed derivation, population sampling, campaign projection,
+// and the sharded runner's bit-determinism across --jobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "fleet/campaign.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/population.hpp"
+
+namespace riv::fleet {
+namespace {
+
+// --- seed derivation ------------------------------------------------------
+
+// A million homes must get a million distinct RNG streams. derive_seed is
+// collision-free by construction (odd-constant multiply and the SplitMix64
+// finalizer are both bijections on u64), but the property the fleet layer
+// actually depends on is that the mapping never changes: home 17 of fleet
+// seed 1 must be the same home forever. The digest below pins the first
+// million derived seeds bit-for-bit; if it moves, every committed fleet
+// digest, BENCH_fleet.json and golden row set silently remaps.
+TEST(SeedDerivation, MillionSeedsCollisionFreeAndPinned) {
+  constexpr std::uint64_t kN = 1'000'000;
+  hash::Fnv1aStream stream;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    std::uint64_t v = derive_seed(1, i);
+    seeds.push_back(v);
+    for (int b = 0; b < 8; ++b)
+      stream.put(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+  EXPECT_EQ(seeds.front(), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(stream.value(), 0x9896bc69d5744cf8ULL);
+
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_TRUE(std::adjacent_find(seeds.begin(), seeds.end()) == seeds.end())
+      << "derived seeds collide";
+}
+
+TEST(SeedDerivation, RootsProduceDisjointStreams) {
+  // Different fleet seeds must not generate related home seeds; spot-check
+  // that nearby roots and indices never coincide in a small window.
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t root = 0; root < 8; ++root)
+    for (std::uint64_t i = 0; i < 1024; ++i)
+      all.push_back(derive_seed(root, i));
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+// --- population sampling --------------------------------------------------
+
+TEST(Population, SampleHomeIsPureFunction) {
+  PopulationModel model;
+  HomeSpec a = sample_home(model, 9, 17);
+  HomeSpec b = sample_home(model, 9, 17);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.n_processes, b.n_processes);
+  ASSERT_EQ(a.sensors.size(), b.sensors.size());
+  for (std::size_t i = 0; i < a.sensors.size(); ++i) {
+    EXPECT_EQ(a.sensors[i].spec.rate_hz, b.sensors[i].spec.rate_hz);
+    EXPECT_EQ(a.sensors[i].spec.payload_size, b.sensors[i].spec.payload_size);
+    EXPECT_EQ(a.sensors[i].spec.tech, b.sensors[i].spec.tech);
+    EXPECT_EQ(a.sensors[i].receivers, b.sensors[i].receivers);
+    EXPECT_EQ(a.sensors[i].guarantee, b.sensors[i].guarantee);
+  }
+  // Different index → different seed (and almost surely different census).
+  EXPECT_NE(sample_home(model, 9, 18).seed, a.seed);
+}
+
+TEST(Population, SamplesStayInsideTheModel) {
+  PopulationModel model;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    HomeSpec h = sample_home(model, 3, i);
+    EXPECT_GE(h.n_processes, model.processes.lo);
+    EXPECT_LE(h.n_processes, model.processes.hi);
+    EXPECT_GE(static_cast<int>(h.sensors.size()), model.sensors.lo);
+    EXPECT_LE(static_cast<int>(h.sensors.size()), model.sensors.hi);
+    for (const HomeSpec::SensorPlan& s : h.sensors) {
+      EXPECT_GE(s.spec.rate_hz, model.rate_hz.lo);
+      EXPECT_LE(s.spec.rate_hz, model.rate_hz.hi);
+      EXPECT_GE(static_cast<int>(s.spec.payload_size),
+                model.payload_bytes.lo);
+      EXPECT_LE(static_cast<int>(s.spec.payload_size),
+                model.payload_bytes.hi);
+      EXPECT_GE(s.link_loss, model.link_loss.lo);
+      EXPECT_LE(s.link_loss, model.link_loss.hi);
+      EXPECT_GE(static_cast<int>(s.receivers.size()), 1);
+      for (int r : s.receivers) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, h.n_processes);
+      }
+    }
+  }
+}
+
+// --- campaigns ------------------------------------------------------------
+
+CampaignPlan wifi_plan(double fraction, int region = -1) {
+  CampaignPlan plan;
+  CampaignEvent ev;
+  ev.kind = CampaignFault::kWifiOutage;
+  ev.at = seconds(10);
+  ev.duration = seconds(20);
+  ev.fraction = fraction;
+  ev.region = region;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+// A 5% Bernoulli over 20k homes concentrates tightly (sigma ~0.15%); the
+// sampled hit fraction must land near the nominal one, and membership must
+// be a pure function of (fleet_seed, event, home).
+TEST(Campaign, MembershipFractionConcentrates) {
+  CampaignPlan plan = wifi_plan(0.05);
+  constexpr std::uint64_t kHomes = 20'000;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < kHomes; ++i) {
+    bool hit = event_hits_home(plan, 0, 1, i);
+    EXPECT_EQ(hit, event_hits_home(plan, 0, 1, i));
+    if (hit) ++hits;
+  }
+  double frac = static_cast<double>(hits) / static_cast<double>(kHomes);
+  EXPECT_GT(frac, 0.04);
+  EXPECT_LT(frac, 0.06);
+}
+
+TEST(Campaign, RegionScopeExcludesOtherRegions) {
+  CampaignPlan plan = wifi_plan(1.0, /*region=*/3);
+  std::uint64_t in_region = 0, hits = 0;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    bool member = home_region(plan, 1, i) == 3;
+    in_region += member ? 1 : 0;
+    if (event_hits_home(plan, 0, 1, i)) {
+      ++hits;
+      EXPECT_TRUE(member) << "home " << i << " hit outside region 3";
+    }
+  }
+  // fraction = 1.0 within scope: every region-3 home is sampled.
+  EXPECT_EQ(hits, in_region);
+  EXPECT_GT(in_region, 0u);
+  EXPECT_LT(in_region, 4000u);
+}
+
+TEST(Campaign, StampProjectsFaultAndHealPairs) {
+  CampaignPlan plan = wifi_plan(1.0);
+  HomeSpec home = sample_home(PopulationModel{}, 1, 5);
+  chaos::FaultPlan stamped = stamp_home_plan(plan, 1, home);
+  ASSERT_FALSE(stamped.actions.empty());
+  // Sorted by time, and the heal point the runner probes at is the end of
+  // the outage window.
+  for (std::size_t i = 1; i < stamped.actions.size(); ++i)
+    EXPECT_LE(stamped.actions[i - 1].at, stamped.actions[i].at);
+  EXPECT_EQ(last_heal_time(plan, 1, home.index),
+            TimePoint{} + plan.events[0].at + plan.events[0].duration)
+      << "heal probe point must be the outage end";
+}
+
+TEST(Campaign, ZeroFractionStampsNothing) {
+  CampaignPlan plan = wifi_plan(0.0);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    HomeSpec home = sample_home(PopulationModel{}, 1, i);
+    EXPECT_TRUE(stamp_home_plan(plan, 1, home).actions.empty());
+  }
+}
+
+TEST(Campaign, ParseSpec) {
+  CampaignEvent ev;
+  ASSERT_TRUE(parse_campaign_event("wifi:720:60:0.05", ev));
+  EXPECT_EQ(ev.kind, CampaignFault::kWifiOutage);
+  EXPECT_EQ(ev.at, seconds(720));
+  EXPECT_EQ(ev.duration, seconds(60));
+  EXPECT_DOUBLE_EQ(ev.fraction, 0.05);
+  EXPECT_EQ(ev.region, -1);
+
+  ASSERT_TRUE(parse_campaign_event("power:30:10:0.5:3", ev));
+  EXPECT_EQ(ev.kind, CampaignFault::kPowerBlip);
+  EXPECT_EQ(ev.region, 3);
+  ASSERT_TRUE(parse_campaign_event("rf:5:5:1", ev));
+  EXPECT_EQ(ev.kind, CampaignFault::kSensorDegrade);
+
+  EXPECT_FALSE(parse_campaign_event("", ev));
+  EXPECT_FALSE(parse_campaign_event("quake:1:1:0.5", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:2.0", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:x:1:0.5", ev));
+}
+
+// --- the sharded runner ---------------------------------------------------
+
+FleetOptions small_fleet(std::uint64_t homes, int jobs) {
+  FleetOptions opt;
+  opt.seed = 1;
+  opt.homes = homes;
+  opt.jobs = jobs;
+  opt.shard_size = 16;  // several shards even in the small fleets
+  opt.population.sim_duration = seconds(5);
+  opt.keep_home_rows = true;
+  return opt;
+}
+
+void expect_identical(const FleetResult& a, const FleetResult& b) {
+  EXPECT_EQ(a.homes, b.homes);
+  EXPECT_EQ(a.processes, b.processes);
+  EXPECT_EQ(a.sensors, b.sensors);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.emitted, b.emitted);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.homes_hit, b.homes_hit);
+  EXPECT_EQ(a.homes_hit_survived, b.homes_hit_survived);
+  EXPECT_EQ(a.homes_survived, b.homes_survived);
+  EXPECT_EQ(a.fault_digest, b.fault_digest);
+  EXPECT_EQ(registry_fingerprint(a.merged), registry_fingerprint(b.merged));
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+TEST(Fleet, SmallFleetBitIdenticalAcrossJobs) {
+  FleetResult serial = run_fleet(small_fleet(48, 1));
+  FleetResult threaded = run_fleet(small_fleet(48, 3));
+  EXPECT_GT(serial.delivered, 0u);
+  expect_identical(serial, threaded);
+}
+
+TEST(Fleet, ShardSizeDoesNotChangeTheResult) {
+  FleetOptions a = small_fleet(48, 2);
+  FleetOptions b = small_fleet(48, 2);
+  a.shard_size = 5;   // ragged tail shard
+  b.shard_size = 48;  // single shard
+  expect_identical(run_fleet(a), run_fleet(b));
+}
+
+TEST(Fleet, RowsMatchAggregates) {
+  FleetResult r = run_fleet(small_fleet(32, 2));
+  ASSERT_EQ(r.rows.size(), 32u);
+  std::uint64_t delivered = 0, emitted = 0, procs = 0;
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    EXPECT_EQ(r.rows[i].seed, derive_seed(1, i));
+    delivered += r.rows[i].delivered;
+    emitted += r.rows[i].emitted;
+    procs += r.rows[i].n_processes;
+  }
+  EXPECT_EQ(delivered, r.delivered);
+  EXPECT_EQ(emitted, r.emitted);
+  EXPECT_EQ(procs, r.processes);
+  EXPECT_EQ(total_delivered(r.merged), r.delivered)
+      << "merged registry and row aggregates disagree";
+}
+
+// The ISSUE's reference incident: a WiFi outage across ~5% of homes must
+// visibly hurt the merged dashboard — faults actually injected, hit homes
+// sampled near the nominal fraction, and the population's worst delivery
+// delay stretched to the outage scale (anti-entropy catches gapless
+// subscriptions up after heal, so delay_max ~ outage duration, orders of
+// magnitude above the healthy fleet's worst case).
+TEST(Fleet, CampaignImpactVisibleInMergedDashboard) {
+  FleetOptions healthy = small_fleet(96, 2);
+  healthy.population.sim_duration = seconds(60);
+  FleetOptions stormy = healthy;
+  stormy.campaign = wifi_plan(0.05);
+
+  FleetResult h = run_fleet(healthy);
+  FleetResult s = run_fleet(stormy);
+  EXPECT_EQ(h.homes_hit, 0u);
+  EXPECT_EQ(h.faults_injected, 0u);
+  EXPECT_GT(s.homes_hit, 0u);
+  EXPECT_LT(s.homes_hit, s.homes / 2);
+  EXPECT_GT(s.faults_injected, 0u);
+  // Every hit home kept a live fault trace.
+  std::uint64_t hit_rows = 0;
+  for (const HomeOutcome& row : s.rows)
+    if (row.hit) {
+      ++hit_rows;
+      EXPECT_GT(row.faults_injected, 0u);
+      EXPECT_NE(row.fault_hash, 0u);
+    }
+  EXPECT_EQ(hit_rows, s.homes_hit);
+
+  Dashboard dh = make_dashboard(h, 1.0, 1);
+  Dashboard ds = make_dashboard(s, 1.0, 1);
+  EXPECT_GT(ds.delay_max, dh.delay_max * 10)
+      << "outage must dominate the population's worst delivery delay";
+  EXPECT_GT(ds.survival_rate, 0.0);
+  EXPECT_LE(ds.survival_rate, 1.0);
+  EXPECT_DOUBLE_EQ(dh.survival_rate, 1.0);  // nothing hit
+}
+
+}  // namespace
+}  // namespace riv::fleet

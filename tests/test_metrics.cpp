@@ -1,6 +1,11 @@
 // Tests for the measurement infrastructure the benches rely on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "metrics/metrics.hpp"
 
 namespace riv::metrics {
@@ -255,6 +260,88 @@ TEST(Registry, PrefixSum) {
   EXPECT_EQ(reg.counter_sum("net.bytes."), 3u);
   EXPECT_EQ(reg.counter_sum("net."), 103u);
   EXPECT_EQ(reg.counter_sum("nope"), 0u);
+}
+
+namespace {
+// Exact scalar equality: every counter value and every latency histogram
+// bucket/count/sum/min/max, bit for bit. What merge-order invariance means.
+void expect_scalars_equal(const Registry& a, const Registry& b) {
+  ASSERT_EQ(a.counters().size(), b.counters().size());
+  for (const auto& [name, counter] : a.counters())
+    EXPECT_EQ(counter.value(), b.counter_value(name)) << name;
+  ASSERT_EQ(a.latencies().size(), b.latencies().size());
+  for (const auto& [name, lat] : a.latencies()) {
+    auto it = b.latencies().find(name);
+    ASSERT_NE(it, b.latencies().end()) << name;
+    const Histogram& ha = lat.hist();
+    const Histogram& hb = it->second.hist();
+    EXPECT_EQ(ha.count(), hb.count()) << name;
+    EXPECT_EQ(ha.sum_us(), hb.sum_us()) << name;
+    EXPECT_EQ(ha.min(), hb.min()) << name;
+    EXPECT_EQ(ha.max(), hb.max()) << name;
+    EXPECT_EQ(ha.overflow(), hb.overflow()) << name;
+    EXPECT_EQ(ha.buckets(), hb.buckets()) << name;
+  }
+}
+}  // namespace
+
+// merge_scalars_from is the basis of fleet-scale aggregation: worker
+// threads fold shard registries in whatever grouping the shard layout
+// dictates, and the fleet result must not depend on it. Counter adds and
+// bucket-wise histogram adds are exactly associative and commutative, so
+// folding 1k randomized registries left-to-right, in reverse, in a
+// shuffled order, and as a two-level tree must agree bit for bit.
+TEST(Registry, MergeScalarsOrderInvariantOver1kRandomRegistries) {
+  constexpr int kRegistries = 1000;
+  Rng rng(2026);
+  const char* names[] = {"app1.delivered", "app1.delay", "net.bytes.ring",
+                         "net.bytes.rb",   "dev.emitted", "proc.crashes"};
+  std::vector<Registry> regs(kRegistries);
+  for (Registry& reg : regs) {
+    int n_counters = static_cast<int>(rng.uniform_int(5));
+    for (int c = 0; c < n_counters; ++c)
+      reg.counter(names[rng.uniform_int(6)]).add(rng.uniform_int(1'000'000));
+    int n_samples = static_cast<int>(rng.uniform_int(9));
+    for (int s = 0; s < n_samples; ++s)
+      reg.latency(names[rng.uniform_int(6)])
+          .record(microseconds(static_cast<std::int64_t>(
+              rng.uniform_int(60'000'000))));
+  }
+
+  Registry forward;
+  for (const Registry& reg : regs) forward.merge_scalars_from(reg);
+
+  Registry backward;
+  for (auto it = regs.rbegin(); it != regs.rend(); ++it)
+    backward.merge_scalars_from(*it);
+  expect_scalars_equal(forward, backward);
+
+  // Deterministically shuffled order.
+  std::vector<std::size_t> order(regs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+  Registry shuffled;
+  for (std::size_t i : order) shuffled.merge_scalars_from(regs[i]);
+  expect_scalars_equal(forward, shuffled);
+
+  // Two-level tree: shard-local folds, then a fold of the folds — the
+  // exact shape the fleet runner uses.
+  Registry tree;
+  for (std::size_t first = 0; first < regs.size(); first += 64) {
+    Registry shard;
+    for (std::size_t i = first; i < std::min(first + 64, regs.size()); ++i)
+      shard.merge_scalars_from(regs[i]);
+    tree.merge_scalars_from(shard);
+  }
+  expect_scalars_equal(forward, tree);
+
+  // And it skipped the series by design.
+  Registry with_series;
+  with_series.series("s").append(TimePoint{1}, 1.0);
+  Registry sink;
+  sink.merge_scalars_from(with_series);
+  EXPECT_TRUE(sink.all_series().empty());
 }
 
 TEST(Registry, ResetClearsEverything) {

@@ -27,6 +27,7 @@
 
 #include "chaos/engine.hpp"
 #include "checkpoint/fork.hpp"
+#include "common/parallel.hpp"
 #include "checkpoint/rivc.hpp"
 #include "checkpoint/scenario.hpp"
 
@@ -95,9 +96,10 @@ void usage(const char* argv0) {
       "  --loss P              baseline device link loss (default 0.1)\n"
       "  --duration S          chaos horizon, virtual seconds (default 60)\n"
       "  --check-interval MS   continuous-check period (default 500)\n"
-      "  --jobs N              run seeds on N worker threads (default 1);\n"
-      "                        per-seed results and output order are\n"
-      "                        identical to a serial run\n"
+      "  --jobs N              run seeds on N worker threads (default 1;\n"
+      "                        0 = one per hardware thread); per-seed\n"
+      "                        results and output order are identical to\n"
+      "                        a serial run\n"
       "  --kinds a,b,c         arm only the named fault kinds (names as\n"
       "                        printed by --list-kinds; naming either kind\n"
       "                        of a begin/end pair arms both)\n"
@@ -582,7 +584,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--check-interval") {
       cli.check_interval_ms = std::atoll(next());
     } else if (arg == "--jobs") {
-      cli.jobs = std::atoi(next());
+      // 0 = auto-detect: one worker per hardware thread.
+      cli.jobs = riv::resolve_jobs(std::atoi(next()));
     } else if (arg == "--kinds") {
       cli.kinds = next();
       chaos::PlanOptions probe;
