@@ -154,17 +154,25 @@ bool parse_campaign_event(const std::string& spec, CampaignEvent& out) {
   } else {
     return false;
   }
+  // Every numeric field must parse in full: "1x", "", or a stray space is
+  // a malformed spec, not a zero (fleet_run exits 2 on it).
   char* end = nullptr;
   double at_s = std::strtod(parts[1].c_str(), &end);
-  if (end == parts[1].c_str() || at_s < 0) return false;
+  if (parts[1].empty() || *end != '\0' || at_s < 0) return false;
   double dur_s = std::strtod(parts[2].c_str(), &end);
-  if (end == parts[2].c_str() || dur_s <= 0) return false;
+  if (parts[2].empty() || *end != '\0' || dur_s <= 0) return false;
   double fraction = std::strtod(parts[3].c_str(), &end);
-  if (end == parts[3].c_str() || fraction <= 0 || fraction > 1) return false;
+  if (parts[3].empty() || *end != '\0' || fraction <= 0 || fraction > 1)
+    return false;
   out.at = microseconds(static_cast<std::int64_t>(at_s * 1e6));
   out.duration = microseconds(static_cast<std::int64_t>(dur_s * 1e6));
   out.fraction = fraction;
-  out.region = parts.size() == 5 ? std::atoi(parts[4].c_str()) : -1;
+  out.region = -1;
+  if (parts.size() == 5) {
+    long region = std::strtol(parts[4].c_str(), &end, 10);
+    if (parts[4].empty() || *end != '\0' || region < 0) return false;
+    out.region = static_cast<int>(region);
+  }
   return true;
 }
 

@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "chaos/injector.hpp"
 #include "chaos/trace.hpp"
 #include "common/hash.hpp"
 #include "common/parallel.hpp"
+#include "trace/provenance.hpp"
 
 namespace riv::fleet {
 
@@ -29,6 +32,7 @@ struct ShardResult {
   metrics::Registry merged;
   std::vector<std::uint64_t> fault_hashes;  // one per home, index order
   std::vector<HomeOutcome> rows;
+  Observation obs;
   std::uint64_t processes{0};
   std::uint64_t sensors{0};
   std::uint64_t sim_events{0};
@@ -40,8 +44,21 @@ struct ShardResult {
   std::uint64_t homes_survived{0};
 };
 
-HomeOutcome run_one_home(const FleetOptions& opt, std::uint64_t index,
-                         metrics::Registry& shard_merged) {
+// The one execution envelope for a fleet home — run_fleet's shard loop
+// and run_home (triage replays) both come through here, which is what
+// makes a replayed trace byte-identical to the sampled recording. When
+// `flight` is non-null it is installed as the current trace sink before
+// any simulation object exists and stays installed through deployment
+// teardown (same discipline as ChaosSession; scoping below is
+// load-bearing). `after_run(outcome, metrics)` fires after the simulation
+// finishes, while the home's own registry is still alive — the only
+// window in which per-home health can be scored without copying.
+template <typename AfterRun>
+HomeOutcome execute_home(const FleetOptions& opt, std::uint64_t index,
+                         trace::Recorder* flight, AfterRun&& after_run) {
+  std::optional<trace::Scope> flight_scope;
+  if (flight != nullptr) flight_scope.emplace(*flight);
+
   const HomeSpec spec = sample_home(opt.population, opt.seed, index);
   std::unique_ptr<workload::HomeDeployment> home = build_home(spec);
 
@@ -50,58 +67,119 @@ HomeOutcome run_one_home(const FleetOptions& opt, std::uint64_t index,
   out.n_processes = static_cast<std::uint32_t>(spec.n_processes);
   out.n_sensors = static_cast<std::uint32_t>(spec.sensors.size());
 
-  // Campaign projection: arm this home's stamped fault plan (if any
-  // event sampled it) and plant the survival probe at the last heal.
-  chaos::TraceRecorder fault_trace;
-  chaos::FaultInjector injector(*home, fault_trace);
-  std::uint64_t delivered_at_heal = 0;
-  bool probed = false;
-  const TimePoint sim_end = TimePoint{} + spec.sim_duration;
-  if (!opt.campaign.empty()) {
-    chaos::FaultPlan plan = stamp_home_plan(opt.campaign, opt.seed, spec);
-    if (!plan.actions.empty()) {
-      out.hit = true;
-      injector.arm(plan);
-      const TimePoint heal = last_heal_time(opt.campaign, opt.seed, index);
-      if (heal < sim_end) {
-        workload::HomeDeployment* h = home.get();
-        home->sim().schedule_at(heal, [h, &delivered_at_heal, &probed] {
-          delivered_at_heal = total_delivered(h->metrics());
-          probed = true;
-        });
+  {
+    // Campaign projection: arm this home's stamped fault plan (if any
+    // event sampled it) and plant the survival probe at the last heal.
+    // Inner scope: the injector references the home and must be gone
+    // before the home is torn down below.
+    chaos::TraceRecorder fault_trace;
+    chaos::FaultInjector injector(*home, fault_trace);
+    std::uint64_t delivered_at_heal = 0;
+    bool probed = false;
+    const TimePoint sim_end = TimePoint{} + spec.sim_duration;
+    if (!opt.campaign.empty()) {
+      chaos::FaultPlan plan = stamp_home_plan(opt.campaign, opt.seed, spec);
+      if (!plan.actions.empty()) {
+        out.hit = true;
+        injector.arm(plan);
+        const TimePoint heal = last_heal_time(opt.campaign, opt.seed, index);
+        if (heal < sim_end) {
+          workload::HomeDeployment* h = home.get();
+          home->sim().schedule_at(heal, [h, &delivered_at_heal, &probed] {
+            delivered_at_heal = total_delivered(h->metrics());
+            probed = true;
+          });
+        }
       }
     }
-  }
 
-  home->start();
-  home->run_for(spec.sim_duration);
+    home->start();
+    home->run_for(spec.sim_duration);
 
-  const metrics::Registry& m = home->metrics();
-  out.delivered = total_delivered(m);
-  out.sim_events = home->sim().events_fired();
-  for (SensorId s : home->bus().sensors())
-    out.emitted += home->bus().sensor(s).events_emitted();
-  out.faults_injected =
-      static_cast<std::uint32_t>(injector.injected() + injector.noops());
-  if (out.hit) {
-    out.fault_hash = fault_trace.hash();
-    // Survived = delivered after the last fault healed. An outage that
-    // outlives the home's window never gets a post-heal probe and counts
-    // as not survived.
-    out.survived = probed && out.delivered > delivered_at_heal;
-  } else {
-    out.survived = out.delivered > 0;
+    const metrics::Registry& m = home->metrics();
+    out.delivered = total_delivered(m);
+    out.sim_events = home->sim().events_fired();
+    for (SensorId s : home->bus().sensors())
+      out.emitted += home->bus().sensor(s).events_emitted();
+    out.faults_injected =
+        static_cast<std::uint32_t>(injector.injected() + injector.noops());
+    if (out.hit) {
+      out.fault_hash = fault_trace.hash();
+      // Survived = delivered after the last fault healed. An outage that
+      // outlives the home's window never gets a post-heal probe and counts
+      // as not survived.
+      out.survived = probed && out.delivered > delivered_at_heal;
+    } else {
+      out.survived = out.delivered > 0;
+    }
+    after_run(static_cast<const HomeOutcome&>(out), m);
   }
-  shard_merged.merge_scalars_from(m);
+  // Tear the home down while the flight scope is still installed so the
+  // shutdown records land in the trace (triage replays and sampled
+  // recordings must see the same byte stream).
+  home.reset();
+  return out;
+}
+
+// One fleet home, with observability: sample-or-not is a pure function of
+// (fleet_seed, index), health rows are scored in the after-run window,
+// and a sampled home's trace is analyzed (and optionally saved) right
+// here on the worker — only bounded derivatives enter the shard fold.
+HomeOutcome run_one_home(const FleetOptions& opt, std::uint64_t index,
+                         ShardResult& shard) {
+  const ObserveOptions& ob = opt.observe;
+  const bool sampled = home_sampled(opt.seed, index, ob.sample);
+
+  std::optional<trace::Recorder> flight;
+  if (sampled) flight.emplace(ob.flight_mask);
+
+  HomeHealth health;
+  HomeOutcome out = execute_home(
+      opt, index, sampled ? &*flight : nullptr,
+      [&](const HomeOutcome& o, const metrics::Registry& m) {
+        if (ob.top_k > 0 || sampled) health = score_home(ob.slo, index, o, m);
+        shard.merged.merge_scalars_from(m);
+      });
+
+  if (sampled) {
+    const trace::Analysis an = trace::analyze(flight->records());
+    apply_provenance(health, an);
+    for (int s = 1; s < trace::kStageCount; ++s)
+      shard.obs.leg[static_cast<std::size_t>(s)].merge(
+          an.leg[static_cast<std::size_t>(s)]);
+    shard.obs.e2e_delivery.merge(an.e2e_delivery);
+    shard.obs.chains += an.n_chains;
+    shard.obs.orphans += an.orphans.size();
+    shard.obs.unexplained_orphans += an.unexplained_orphans();
+    shard.obs.duplicates += an.duplicates.size();
+    TraceSample samp;
+    samp.index = index;
+    samp.seed = out.seed;
+    samp.trace_hash = flight->hash();
+    samp.records = flight->size();
+    samp.bytes = flight->payload_bytes();
+    shard.obs.trace_records += samp.records;
+    shard.obs.trace_bytes += samp.bytes;
+    shard.obs.samples.push_back(samp);
+    if (!ob.trace_dir.empty()) {
+      const std::string path =
+          ob.trace_dir + "/home-" + std::to_string(index) + ".rivtrace";
+      std::string err;
+      if (!flight->save(path, &err))
+        throw std::runtime_error("fleet trace save: " + err);
+    }
+  }
+  if (ob.top_k > 0) shard.obs.top.add(health);
   return out;
 }
 
 ShardResult run_shard(const FleetOptions& opt, std::uint64_t first,
                       std::uint64_t last) {
   ShardResult shard;
+  shard.obs.top = TopKHealth{opt.observe.top_k};
   shard.fault_hashes.reserve(last - first);
   for (std::uint64_t i = first; i < last; ++i) {
-    HomeOutcome row = run_one_home(opt, i, shard.merged);
+    HomeOutcome row = run_one_home(opt, i, shard);
     shard.fault_hashes.push_back(row.fault_hash);
     shard.processes += row.n_processes;
     shard.sensors += row.n_sensors;
@@ -137,9 +215,11 @@ FleetResult run_fleet(const FleetOptions& opt) {
 
   FleetResult r;
   r.homes = opt.homes;
+  r.observation.top = TopKHealth{opt.observe.top_k};
   hash::Fnv1aStream digest;
   for (ShardResult& shard : shards) {
     r.merged.merge_scalars_from(shard.merged);
+    r.observation.fold_from(shard.obs);
     r.processes += shard.processes;
     r.sensors += shard.sensors;
     r.sim_events += shard.sim_events;
@@ -154,6 +234,18 @@ FleetResult run_fleet(const FleetOptions& opt) {
       r.rows.insert(r.rows.end(), shard.rows.begin(), shard.rows.end());
   }
   r.fault_digest = digest.value();
+  return r;
+}
+
+HomeRun run_home(const FleetOptions& opt, std::uint64_t index, bool traced,
+                 std::uint32_t flight_mask) {
+  HomeRun r;
+  if (traced) r.flight = std::make_shared<trace::Recorder>(flight_mask);
+  r.outcome = execute_home(
+      opt, index, r.flight.get(),
+      [&r](const HomeOutcome&, const metrics::Registry& m) {
+        r.metrics = m;
+      });
   return r;
 }
 

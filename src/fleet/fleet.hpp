@@ -18,12 +18,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fleet/campaign.hpp"
+#include "fleet/observe.hpp"
 #include "fleet/population.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace riv::fleet {
 
@@ -36,8 +39,11 @@ struct FleetOptions {
   std::uint64_t shard_size{64};
   PopulationModel population{};
   CampaignPlan campaign{};
-  // Keep one HomeOutcome row per home (8 scalar fields; ~64 B/home —
-  // fine at 256 homes, 64 MB at a million). Aggregates are always kept.
+  // Observability: sampled flight recording, SLO health scoring, top-K
+  // worst-offender tracking (src/fleet/observe.hpp). Off by default.
+  ObserveOptions observe{};
+  // Keep one HomeOutcome row per home (10 scalar fields; ~56 B/home —
+  // fine at 256 homes, 56 MB at a million). Aggregates are always kept.
   bool keep_home_rows{false};
 };
 
@@ -56,6 +62,9 @@ struct HomeOutcome {
 
   bool operator==(const HomeOutcome&) const = default;
 };
+// The keep_home_rows memory budget above leans on this staying true.
+static_assert(sizeof(HomeOutcome) <= 72,
+              "HomeOutcome grew past the ~64 B/home row budget");
 
 struct FleetResult {
   std::uint64_t homes{0};
@@ -80,10 +89,29 @@ struct FleetResult {
   // merge_scalars_from (order-invariant, so sharding cannot change it).
   metrics::Registry merged;
   std::vector<HomeOutcome> rows;  // empty unless keep_home_rows
+  // Sampled traces, latency legs, health top-K (empty unless
+  // FleetOptions::observe is enabled). Folded in shard order like
+  // everything else, so bit-identical for any --jobs.
+  Observation observation;
 };
 
 // Run the fleet. Deterministic: bit-identical result for any jobs value.
 FleetResult run_fleet(const FleetOptions& opt);
+
+// One home of the fleet, executed exactly as run_fleet() would execute
+// it, optionally with the flight recorder installed for the home's whole
+// lifetime (construction through teardown — the same envelope sampled
+// homes record under). Pure function of (opt, index, traced, mask): the
+// packed trace bytes are identical on every call, which is what lets
+// fleet_triage reproduce a sampled home's recording hash-for-hash.
+struct HomeRun {
+  HomeOutcome outcome;
+  // Copy of the home's own merged registry (cheap: one home's counters).
+  metrics::Registry metrics;
+  std::shared_ptr<trace::Recorder> flight;  // null unless traced
+};
+HomeRun run_home(const FleetOptions& opt, std::uint64_t index, bool traced,
+                 std::uint32_t flight_mask = trace::kAllComponents);
 
 // Order-sensitive FNV-1a fingerprint of a registry's scalar contents
 // (counter names/values, histogram buckets/count/sum/min/max) — what

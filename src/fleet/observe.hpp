@@ -1,0 +1,232 @@
+// Fleet observatory: sampled flight recording, per-home SLO health
+// scoring, and deterministic outlier drill-down.
+//
+// A million-home fleet run folds every per-home registry away into
+// population aggregates (src/fleet/fleet.hpp) — great for dashboards,
+// useless for diagnosis: which homes are unhealthy, and why? This module
+// answers both without giving up the fleet's O(jobs + shards) memory or
+// its bit-determinism under any --jobs:
+//
+//   1. Sampled flight recording. home_sampled() is a pure hash-threshold
+//      function of (fleet_seed, home_index), so the sampled set is fixed
+//      before any home runs and identical under any sharding. A sampled
+//      home executes with the PR-5 zero-alloc trace recorder installed for
+//      its whole lifetime (construction through teardown); the resulting
+//      trace is analyzed in place (trace::analyze) and only bounded
+//      derivatives survive the shard fold: per-stage latency-leg
+//      histograms, orphan/duplicate counts, and one TraceSample row
+//      (index, seed, FNV hash, record/byte counts) per sampled home.
+//
+//   2. Per-home SLO health scoring. Before a home's registry is merged
+//      away, score_home() reduces it to a HomeHealth row — delivery p99
+//      vs the SLO target, survival, fault counts, and (for sampled homes)
+//      provenance verdicts — with a single integer score: 0 is healthy,
+//      bigger is sicker. TopKHealth keeps the K worst rows under a total
+//      order (score desc, index asc), so merging shard heaps in any order
+//      yields the same list: the top-K of a multiset under a total order
+//      does not depend on insertion order.
+//
+//   3. Drill-down replay. Because each home is an independent seeded
+//      simulation, triage_home() re-runs any flagged home with full
+//      tracing for a few hundred microseconds of CPU and attributes its
+//      sickness: the injected fault, the slowest pipeline leg, the causal
+//      health verdict (trace_analyze --check semantics), and the first
+//      record a healthy home never logs. The re-recorded trace is
+//      byte-identical to the sampled one — fleet_triage gates on the FNV
+//      hash matching.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/provenance.hpp"
+#include "trace/trace.hpp"
+
+namespace riv::fleet {
+
+struct FleetOptions;  // fleet.hpp (which includes this header)
+struct HomeOutcome;
+
+// Service-level objective a home is scored against.
+struct SloSpec {
+  // Population delivery-latency target: a home whose own p99 exceeds this
+  // accrues (p99 - target) microseconds of score.
+  Duration delivery_p99{milliseconds(500)};
+};
+
+struct ObserveOptions {
+  // Fraction of homes flight-recorded, [0, 1]. Pure hash-threshold
+  // membership — see home_sampled().
+  double sample{0.0};
+  // Keep the K worst HomeHealth rows (0 disables health scoring).
+  std::uint32_t top_k{0};
+  SloSpec slo{};
+  // When non-empty, each sampled home's trace is saved as
+  // DIR/home-<index>.rivtrace (fleet_run --trace-dir).
+  std::string trace_dir;
+  // Components recorded for sampled homes. Triage re-runs use the same
+  // mask, which is what makes their traces byte-identical.
+  std::uint32_t flight_mask{trace::kAllComponents};
+
+  bool enabled() const { return sample > 0.0 || top_k > 0; }
+};
+
+// Does the fleet flight-record this home? Pure function of its arguments
+// (hash-threshold over a sampler-salted derive_seed stream, the same
+// discipline as campaign membership draws): the sampled set never depends
+// on sharding, job count, or which homes ran before.
+bool home_sampled(std::uint64_t fleet_seed, std::uint64_t home_index,
+                  double sample);
+
+// One home's health row, computed while its registry is still alive.
+struct HomeHealth {
+  std::uint64_t index{0};
+  std::uint64_t seed{0};
+  // 0 = healthy; bigger = sicker. Deterministic integer penalty sum —
+  // see score_home() for the schedule.
+  std::uint64_t score{0};
+  std::int64_t delay_p99_us{0};  // this home's own delivery p99
+  std::int64_t slo_us{0};        // the target it was scored against
+  std::uint64_t delivered{0};
+  std::uint64_t emitted{0};
+  std::uint32_t faults{0};
+  // Provenance verdicts; only populated when the home was traced
+  // (sampled == true), zero otherwise.
+  std::uint32_t unexplained_orphans{0};
+  std::uint32_t duplicates{0};
+  std::uint32_t ordering_violations{0};
+  bool sampled{false};
+  bool hit{false};       // sampled by >= 1 campaign event
+  bool survived{false};  // HomeOutcome::survived
+
+  bool operator==(const HomeHealth&) const = default;
+};
+
+// Total order, sickest first: score descending, home index ascending.
+// Strict and total, so any set of rows has exactly one top-K.
+bool worse(const HomeHealth& a, const HomeHealth& b);
+
+// Reduce one finished home to a HomeHealth row; called while the home's
+// own (not yet folded) registry is still alive. Penalty schedule
+// (integers only, so scores are bit-deterministic and comparable):
+//   +50'000'000                 emitted events but delivered none
+//   +10'000'000                 hit by a campaign and did not survive
+//   +(p99_us - slo_us)          delivery p99 over the SLO target
+HomeHealth score_home(const SloSpec& slo, std::uint64_t index,
+                      const HomeOutcome& outcome,
+                      const metrics::Registry& home_metrics);
+
+// Fold a flight-recorded home's provenance verdicts into its row (sets
+// sampled, the orphan/duplicate/violation counts, and their penalties):
+//   +500'000 per                stage-ordering violation
+//   +200'000 per                unexplained orphan / duplicate delivery
+void apply_provenance(HomeHealth& row, const trace::Analysis& analysis);
+
+// Bounded worst-offenders list. Insertion and merge order never change
+// the final contents: rows are kept sorted under worse() and truncated to
+// K, which computes the top-K of the underlying multiset — a pure
+// function of the set. test_observe pins this over randomized shard
+// orders.
+class TopKHealth {
+ public:
+  TopKHealth() = default;
+  explicit TopKHealth(std::size_t k) : k_(k) {}
+
+  void add(const HomeHealth& row);
+  void merge_from(const TopKHealth& other);
+
+  std::size_t k() const { return k_; }
+  // Sorted, sickest first; size() <= k.
+  const std::vector<HomeHealth>& rows() const { return rows_; }
+
+ private:
+  std::size_t k_{0};
+  std::vector<HomeHealth> rows_;
+};
+
+// What survives of one sampled home's flight recording after the fold.
+struct TraceSample {
+  std::uint64_t index{0};
+  std::uint64_t seed{0};
+  std::uint64_t trace_hash{0};  // Recorder FNV over the packed records
+  std::uint64_t records{0};
+  std::uint64_t bytes{0};  // packed payload bytes
+
+  bool operator==(const TraceSample&) const = default;
+};
+
+// Fleet-wide observability aggregate. Shard-local instances are folded on
+// the main thread in shard order (fold_from), the same discipline as the
+// rest of FleetResult, so every field is bit-identical for any --jobs.
+struct Observation {
+  // One row per sampled home, home-index order.
+  std::vector<TraceSample> samples;
+  // Per-stage latency legs over all sampled homes' chains (leg[i] spans
+  // stage i-1 -> i; leg[0] unused), plus generated -> delivered e2e.
+  std::array<metrics::Histogram, trace::kStageCount> leg{};
+  metrics::Histogram e2e_delivery;
+  std::uint64_t trace_records{0};
+  std::uint64_t trace_bytes{0};
+  std::uint64_t chains{0};
+  std::uint64_t orphans{0};             // all orphans, explained included
+  std::uint64_t unexplained_orphans{0};
+  std::uint64_t duplicates{0};
+  TopKHealth top;
+
+  void fold_from(const Observation& shard);
+  // FNV-1a over (index, trace_hash) of every sample, index order — the
+  // sampled-fleet determinism fingerprint fleet_run prints.
+  std::uint64_t trace_digest() const;
+};
+
+// Dashboard section: sampled-set summary, leg p99s, worst offenders.
+std::string render_observation(const Observation& o);
+
+// --- drill-down -----------------------------------------------------------
+
+struct TriageOptions {
+  // Save the drill-down trace as DIR/home-<index>.rivtrace.
+  std::string trace_dir;
+  trace::AnalyzeOptions analyze{};
+};
+
+// Everything the drill-down replay of one flagged home learned.
+struct TriageReport {
+  HomeHealth health;  // re-scored with full provenance
+  std::uint64_t trace_hash{0};
+  std::uint64_t trace_records{0};
+  // trace_analyze --check verdict over the drill-down trace.
+  bool check_ok{true};
+  std::vector<std::string> problems;
+  // First injected fault (empty when the home saw no faults) and total
+  // fault count, from the chaos records in the trace.
+  std::string fault;
+  std::uint32_t faults{0};
+  // The pipeline leg with the largest p99 ("ingested->delivered"), and
+  // that p99 in microseconds. Empty when no chain completed any leg.
+  std::string worst_leg;
+  std::int64_t worst_leg_p99_us{0};
+  // The first record of a kind a healthy steady-state home never logs
+  // (fault injection, crash, gapless fallback, tamper verdict) — where
+  // this home's execution first diverged from a healthy one. Empty for a
+  // healthy home.
+  std::string first_divergence;
+  std::int64_t first_divergence_us{-1};
+  std::string trace_path;  // saved drill-down trace ("" when not saved)
+};
+
+// Deterministically re-run one home of the fleet with full tracing and
+// attribute its health. Pure function of (opt, index): the trace — and
+// therefore trace_hash — is byte-identical run to run, and identical to
+// the sampled recording when the home was in the sampled set.
+TriageReport triage_home(const FleetOptions& opt, std::uint64_t index,
+                         const TriageOptions& topt = {});
+
+std::string render(const TriageReport& r);
+std::string render_triage_json(const std::vector<TriageReport>& reports);
+
+}  // namespace riv::fleet

@@ -192,6 +192,27 @@ TEST(Campaign, ParseSpec) {
   EXPECT_FALSE(parse_campaign_event("wifi:x:1:0.5", ev));
 }
 
+// Parsing is strict, not best-effort: a field that only partially parses
+// ("1x"), an empty field, or a nonsense region must be rejected, never
+// silently coerced (atoi-style) into a number.
+TEST(Campaign, ParseSpecRejectsTrailingGarbageAndBadRegions) {
+  CampaignEvent ev;
+  EXPECT_FALSE(parse_campaign_event("wifi:1x:1:0.5", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1s:0.5", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:0.5%", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi::1:0.5", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1::0.5", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:0.5:", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:0.5:abc", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:0.5:2x", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:0.5:-1", ev));
+  EXPECT_FALSE(parse_campaign_event("wifi:1:1:0.5:3:9", ev));
+  // The happy path still parses after all that strictness.
+  EXPECT_TRUE(parse_campaign_event("wifi:1:1:0.5:3", ev));
+  EXPECT_EQ(ev.region, 3);
+}
+
 // --- the sharded runner ---------------------------------------------------
 
 FleetOptions small_fleet(std::uint64_t homes, int jobs) {

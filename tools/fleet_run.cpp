@@ -11,12 +11,15 @@
 // bit-identical for any --jobs value — rerun with --jobs 1 to verify.
 //
 // Exit status: 0 ok; 2 usage error.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "fleet/fleet.hpp"
@@ -46,6 +49,17 @@ void usage(const char* argv0) {
       "                        kind = wifi | power | rf. Repeatable.\n"
       "  --regions N           region count for scoped events (default 16)\n"
       "  --rows PATH           write one CSV row per home to PATH\n"
+      "  --sample F            flight-record fraction F of homes (pure\n"
+      "                        function of seed+index; 0.001 = 0.1%%)\n"
+      "  --top K               track the K unhealthiest homes (SLO health\n"
+      "                        scoring; printed with the dashboard)\n"
+      "  --slo MS              delivery-p99 SLO in milliseconds the health\n"
+      "                        score is computed against (default 500)\n"
+      "  --trace-dir DIR       save each sampled home's flight recording\n"
+      "                        as DIR/home-<index>.rivtrace\n"
+      "  --triage K            after the run, re-run the K unhealthiest\n"
+      "                        homes with full tracing and print a triage\n"
+      "                        report per home (implies --top >= K)\n"
       "  --quiet               only print the digest line\n",
       argv0);
 }
@@ -84,6 +98,7 @@ int main(int argc, char** argv) {
   fleet::FleetOptions opt;
   opt.jobs = 0;  // auto-detect by default: fleets exist to fill cores
   std::string rows_path;
+  int triage_k = 0;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -120,11 +135,14 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--campaign") {
+      const char* spec = next();
       fleet::CampaignEvent ev;
-      if (!fleet::parse_campaign_event(next(), ev)) {
+      if (!fleet::parse_campaign_event(spec, ev)) {
         std::fprintf(stderr,
-                     "bad --campaign spec (kind:at_s:dur_s:fraction"
-                     "[:region], kind = wifi|power|rf)\n");
+                     "bad --campaign spec '%s' (kind:at_s:dur_s:fraction"
+                     "[:region], kind = wifi|power|rf)\n",
+                     spec);
+        usage(argv[0]);
         return 2;
       }
       opt.campaign.events.push_back(ev);
@@ -137,6 +155,34 @@ int main(int argc, char** argv) {
     } else if (arg == "--rows") {
       rows_path = next();
       opt.keep_home_rows = true;
+    } else if (arg == "--sample") {
+      opt.observe.sample = std::atof(next());
+      if (opt.observe.sample < 0 || opt.observe.sample > 1) {
+        std::fprintf(stderr, "bad --sample fraction (want [0, 1])\n");
+        return 2;
+      }
+    } else if (arg == "--top") {
+      int k = std::atoi(next());
+      if (k < 1) {
+        std::fprintf(stderr, "bad --top count\n");
+        return 2;
+      }
+      opt.observe.top_k = static_cast<std::uint32_t>(k);
+    } else if (arg == "--slo") {
+      long ms = std::atol(next());
+      if (ms < 1) {
+        std::fprintf(stderr, "bad --slo milliseconds\n");
+        return 2;
+      }
+      opt.observe.slo.delivery_p99 = milliseconds(ms);
+    } else if (arg == "--trace-dir") {
+      opt.observe.trace_dir = next();
+    } else if (arg == "--triage") {
+      triage_k = std::atoi(next());
+      if (triage_k < 1) {
+        std::fprintf(stderr, "bad --triage count\n");
+        return 2;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -151,6 +197,19 @@ int main(int argc, char** argv) {
   if (opt.homes == 0 || opt.population.sim_duration <= Duration{}) {
     std::fprintf(stderr, "bad fleet parameters\n");
     return 2;
+  }
+  // Triage needs the worst-K list, so it implies health scoring.
+  if (triage_k > 0 &&
+      opt.observe.top_k < static_cast<std::uint32_t>(triage_k))
+    opt.observe.top_k = static_cast<std::uint32_t>(triage_k);
+  if (!opt.observe.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.observe.trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s\n",
+                   opt.observe.trace_dir.c_str());
+      return 1;
+    }
   }
 
   const int jobs = riv::resolve_jobs(opt.jobs);
@@ -173,7 +232,19 @@ int main(int argc, char** argv) {
                     .c_str());
   } else {
     std::printf("%s", fleet::render_dashboard(result, dash).c_str());
+    std::printf("%s",
+                fleet::render_observation(result.observation).c_str());
     std::printf("wall            %.2fs\n", wall);
+  }
+
+  if (triage_k > 0) {
+    const auto& worst = result.observation.top.rows();
+    const std::size_t n =
+        std::min<std::size_t>(worst.size(), static_cast<std::size_t>(triage_k));
+    for (std::size_t i = 0; i < n; ++i) {
+      fleet::TriageReport rep = fleet::triage_home(opt, worst[i].index);
+      std::printf("%s", fleet::render(rep).c_str());
+    }
   }
 
   if (!rows_path.empty()) {

@@ -1,0 +1,212 @@
+// fleet_triage: deterministic drill-down into the unhealthiest homes of a
+// fleet.
+//
+//   fleet_triage --homes 100000 --campaign wifi:5:10:0.05 --top 10
+//                                  # score every home, re-run the worst 10
+//                                  # with full tracing, attribute each
+//   fleet_triage --homes 100000 --home 4242 --trace-dir /tmp/triage
+//                                  # drill into one specific home and save
+//                                  # its .rivtrace
+//
+// Because every home is an independent simulation derived from the fleet
+// seed, re-running a flagged home costs milliseconds and reproduces its
+// sampled flight recording byte-for-byte: --verify-sample pins the
+// re-recorded FNV hash against a live sampled run of the same home and
+// fails loudly on any mismatch. Each drill-down trace is put through the
+// trace_analyze --check verdict (unexplained orphans, duplicate
+// deliveries, ordering violations); --check makes a red verdict fatal.
+//
+// Exit status: 0 ok; 1 check/verify failure; 2 usage error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using namespace riv;
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --homes N             homes in the fleet (default 1000)\n"
+      "  --seed S              fleet seed (default 1)\n"
+      "  --jobs N              worker threads for the scoring pass\n"
+      "                        (default 0 = auto)\n"
+      "  --duration S          virtual seconds simulated per home\n"
+      "                        (default 10)\n"
+      "  --campaign SPEC       correlated fault event, repeatable\n"
+      "                        (kind:at_s:dur_s:fraction[:region])\n"
+      "  --regions N           region count for scoped events (default 16)\n"
+      "  --top K               triage the K unhealthiest homes (default 5)\n"
+      "  --home I              triage home index I instead of scoring the\n"
+      "                        fleet; repeatable\n"
+      "  --slo MS              delivery-p99 SLO in ms (default 500)\n"
+      "  --trace-dir DIR       save each drill-down trace as\n"
+      "                        DIR/home-<index>.rivtrace\n"
+      "  --verify-sample       also flight-record each triaged home inside\n"
+      "                        a sampled fleet pass and require the replay\n"
+      "                        hash to match it exactly\n"
+      "  --json                emit the report as JSON\n"
+      "  --check               exit 1 if any drill-down trace fails the\n"
+      "                        causal health check\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::FleetOptions opt;
+  opt.jobs = 0;
+  int top_k = 5;
+  std::vector<std::uint64_t> explicit_homes;
+  fleet::TriageOptions topt;
+  bool verify_sample = false;
+  bool json = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--homes") {
+      opt.homes = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(next());
+    } else if (arg == "--duration") {
+      opt.population.sim_duration = seconds(std::atoll(next()));
+    } else if (arg == "--campaign") {
+      const char* spec = next();
+      fleet::CampaignEvent ev;
+      if (!fleet::parse_campaign_event(spec, ev)) {
+        std::fprintf(stderr,
+                     "bad --campaign spec '%s' (kind:at_s:dur_s:fraction"
+                     "[:region], kind = wifi|power|rf)\n",
+                     spec);
+        usage(argv[0]);
+        return 2;
+      }
+      opt.campaign.events.push_back(ev);
+    } else if (arg == "--regions") {
+      opt.campaign.n_regions = std::atoi(next());
+      if (opt.campaign.n_regions < 1) {
+        std::fprintf(stderr, "bad --regions count\n");
+        return 2;
+      }
+    } else if (arg == "--top") {
+      top_k = std::atoi(next());
+      if (top_k < 1) {
+        std::fprintf(stderr, "bad --top count\n");
+        return 2;
+      }
+    } else if (arg == "--home") {
+      explicit_homes.push_back(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--slo") {
+      long ms = std::atol(next());
+      if (ms < 1) {
+        std::fprintf(stderr, "bad --slo milliseconds\n");
+        return 2;
+      }
+      opt.observe.slo.delivery_p99 = milliseconds(ms);
+    } else if (arg == "--trace-dir") {
+      topt.trace_dir = next();
+    } else if (arg == "--verify-sample") {
+      verify_sample = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.homes == 0 || opt.population.sim_duration <= Duration{}) {
+    std::fprintf(stderr, "bad fleet parameters\n");
+    return 2;
+  }
+  for (std::uint64_t h : explicit_homes) {
+    if (h >= opt.homes) {
+      std::fprintf(stderr, "--home %llu out of range (fleet has %llu)\n",
+                   static_cast<unsigned long long>(h),
+                   static_cast<unsigned long long>(opt.homes));
+      return 2;
+    }
+  }
+  if (!topt.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(topt.trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s\n", topt.trace_dir.c_str());
+      return 1;
+    }
+  }
+
+  // Which homes to drill into: the explicit list, or the worst K of a
+  // fleet-wide health-scoring pass.
+  std::vector<std::uint64_t> targets = explicit_homes;
+  if (targets.empty()) {
+    opt.observe.top_k = static_cast<std::uint32_t>(top_k);
+    fleet::FleetResult scored = fleet::run_fleet(opt);
+    for (const fleet::HomeHealth& row : scored.observation.top.rows())
+      targets.push_back(row.index);
+    if (!json)
+      std::printf("scored %llu homes; triaging the %zu worst\n",
+                  static_cast<unsigned long long>(scored.homes),
+                  targets.size());
+  }
+
+  // With --verify-sample, record each target inside a sampled fleet
+  // context first: sample >= 1 puts every home in the sampled set without
+  // perturbing its execution, so the replay below must reproduce the
+  // recording hash-for-hash.
+  std::vector<std::uint64_t> sampled_hashes(targets.size(), 0);
+  if (verify_sample) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      fleet::HomeRun sampled = fleet::run_home(opt, targets[i],
+                                               /*traced=*/true);
+      sampled_hashes[i] = sampled.flight->hash();
+    }
+  }
+
+  bool all_ok = true;
+  std::vector<fleet::TriageReport> reports;
+  reports.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    fleet::TriageReport rep = fleet::triage_home(opt, targets[i], topt);
+    if (!rep.check_ok) all_ok = false;
+    if (verify_sample && rep.trace_hash != sampled_hashes[i]) {
+      std::fprintf(stderr,
+                   "home %llu: replay hash %s != sampled hash %s\n",
+                   static_cast<unsigned long long>(targets[i]),
+                   hash::fnv1a_digest(rep.trace_hash).c_str(),
+                   hash::fnv1a_digest(sampled_hashes[i]).c_str());
+      all_ok = false;
+    }
+    if (!json) std::printf("%s", fleet::render(rep).c_str());
+    reports.push_back(std::move(rep));
+  }
+  if (json) std::printf("%s", fleet::render_triage_json(reports).c_str());
+
+  if (check && !all_ok) return 1;
+  if (verify_sample && !all_ok) return 1;
+  return 0;
+}
