@@ -25,6 +25,17 @@
 //   determinism  — 256-home fleet run at --jobs 1 and --jobs 4; both
 //                  digests must match bit-for-bit (hard gate, fails the
 //                  bench regardless of --check).
+//   warm_fleet   — 8-campaign fan-out over 200 busy homes (4-8 sensors
+//                  at 4-12 Hz) with an 18s warm-up prefix and 2s
+//                  windows, cold (re-execute the prefix per campaign)
+//                  vs warm (snapshot-clone the warmed home, 5% sampled
+//                  attestation). Two hard gates: warm must be ≥1.5×
+//                  cold homes/s, and every campaign's outcome rows and
+//                  digests must match the cold leg bit-for-bit — speed
+//                  that changes answers is a bug, not a win.
+//
+// Every scenario also reports allocations/home (operator-new count),
+// the number the pooled-shard-memory work drives down.
 //
 //   bench_fleet [--homes N] [--jobs N] [--check BASELINE.json]
 //               [--json PATH]
@@ -34,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <malloc.h>
 #include <new>
 #include <string>
@@ -52,8 +64,10 @@
 namespace {
 std::atomic<std::uint64_t> g_live_bytes{0};
 std::atomic<std::uint64_t> g_peak_bytes{0};
+std::atomic<std::uint64_t> g_alloc_count{0};
 
 void account_alloc(void* p) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t live =
       g_live_bytes.fetch_add(malloc_usable_size(p),
                              std::memory_order_relaxed) +
@@ -112,6 +126,7 @@ struct Row {
   double homes_per_sec{0};
   double events_per_sec_per_core{0};
   double mem_bytes_per_home{0};
+  double allocs_per_home{0};
   double net_bytes_per_home{0};
   double hit_fraction{-1};    // < 0 = no campaign
   double survival_rate{-1};   // < 0 = no campaign
@@ -123,10 +138,13 @@ struct Row {
 Row run_scenario(FleetOptions opt, int jobs) {
   opt.jobs = jobs;
   std::uint64_t base = reset_peak();
+  std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
   double t0 = now_wall();
   FleetResult r = run_fleet(opt);
   double wall = now_wall() - t0;
   std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
   Dashboard d = make_dashboard(r, wall, jobs);
   Row row;
   row.homes = r.homes;
@@ -135,6 +153,8 @@ Row run_scenario(FleetOptions opt, int jobs) {
   row.events_per_sec_per_core = d.events_per_sec_per_core;
   row.mem_bytes_per_home = static_cast<double>(peak - base) /
                            static_cast<double>(r.homes);
+  row.allocs_per_home =
+      static_cast<double>(allocs) / static_cast<double>(r.homes);
   row.net_bytes_per_home = d.bytes_per_home;
   if (r.homes_hit > 0) {
     row.hit_fraction = static_cast<double>(r.homes_hit) /
@@ -147,12 +167,53 @@ Row run_scenario(FleetOptions opt, int jobs) {
   return row;
 }
 
+// A multi-campaign sweep measured as one unit: homes counts every
+// (home, campaign) simulation, so the cold-vs-warm homes/s ratio reads
+// directly as the warm-start speedup. Per-campaign results come back in
+// `out` for the bit-identity gate; digests are an order-sensitive fold
+// of the per-campaign digests.
+Row run_sweep(FleetOptions opt, const std::vector<CampaignPlan>& plans,
+              int jobs, std::vector<FleetResult>& out) {
+  opt.jobs = jobs;
+  std::uint64_t base = reset_peak();
+  std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  double t0 = now_wall();
+  out = run_fleet_campaigns(opt, plans);
+  double wall = now_wall() - t0;
+  std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  Row row;
+  row.homes = opt.homes * plans.size();
+  row.wall_s = wall;
+  row.homes_per_sec = static_cast<double>(row.homes) / wall;
+  std::uint64_t events = 0;
+  std::uint64_t fd = 1469598103934665603ull;
+  std::uint64_t md = fd;
+  for (const FleetResult& r : out) {
+    events += r.sim_events;
+    fd = (fd ^ r.fault_digest) * 1099511628211ull;
+    md = (md ^ registry_fingerprint(r.merged)) * 1099511628211ull;
+  }
+  row.events_per_sec_per_core =
+      static_cast<double>(events) / wall / static_cast<double>(jobs);
+  row.mem_bytes_per_home = static_cast<double>(peak - base) /
+                           static_cast<double>(row.homes);
+  row.allocs_per_home =
+      static_cast<double>(allocs) / static_cast<double>(row.homes);
+  row.fault_digest = fd;
+  row.metrics_digest = md;
+  return row;
+}
+
 void print_row(const char* name, const Row& r, int jobs) {
   std::printf("%-14s %9llu homes   %8.0f homes/s   %10.0f events/s/core   "
-              "%7.0f heap-B/home   %6.0f net-B/home   %6.2f wall-s",
+              "%7.0f heap-B/home   %7.0f allocs/home   %6.0f net-B/home   "
+              "%6.2f wall-s",
               name, static_cast<unsigned long long>(r.homes),
               r.homes_per_sec, r.events_per_sec_per_core,
-              r.mem_bytes_per_home, r.net_bytes_per_home, r.wall_s);
+              r.mem_bytes_per_home, r.allocs_per_home, r.net_bytes_per_home,
+              r.wall_s);
   if (r.hit_fraction >= 0)
     std::printf("   hit %4.1f%%   survival %5.1f%%", r.hit_fraction * 100.0,
                 r.survival_rate * 100.0);
@@ -168,10 +229,12 @@ void append_json(std::string& out, const char* name, const Row& r,
                 "    \"%s\": {\"homes\": %llu, \"homes_per_sec\": %.0f, "
                 "\"events_per_sec_per_core\": %.0f, "
                 "\"mem_bytes_per_home\": %.0f, "
+                "\"allocs_per_home\": %.0f, "
                 "\"net_bytes_per_home\": %.0f, \"wall_s\": %.3f",
                 name, static_cast<unsigned long long>(r.homes),
                 r.homes_per_sec, r.events_per_sec_per_core,
-                r.mem_bytes_per_home, r.net_bytes_per_home, r.wall_s);
+                r.mem_bytes_per_home, r.allocs_per_home, r.net_bytes_per_home,
+                r.wall_s);
   out += buf;
   if (r.hit_fraction >= 0) {
     std::snprintf(buf, sizeof(buf),
@@ -312,10 +375,76 @@ int main(int argc, char** argv) {
   std::printf("determinism   256-home fleet --jobs 1 vs --jobs 4: %s\n",
               deterministic ? "digests MATCH" : "digests DIFFER");
 
+  // warm_fleet: the warm-start headline. An 8-campaign fan-out over busy
+  // homes (4-8 sensors at 4-12 Hz — the population where warm-up is
+  // actually expensive): an 18s fault-free warm-up prefix, then a 2s
+  // per-campaign measurement window. The cold leg re-executes the prefix
+  // for every campaign (6 × 20 sim-seconds per home); the warm leg
+  // executes it once per home, snapshot-clones the warmed state per
+  // campaign (5% of clones byte-attested against the checkpoint
+  // surface), and re-salts the ambient RNG per campaign (18 + 8 × 2).
+  // Both legs arm campaigns after the prefix, so they must agree
+  // bit-for-bit — rows and digests — while warm buys ≥1.5× homes/s.
+  // Both are hard gates.
+  FleetOptions wf_cold;
+  wf_cold.homes = 200;
+  wf_cold.population.sensors = {4, 8};
+  wf_cold.population.rate_hz = {4.0, 12.0};
+  wf_cold.population.sim_duration = riv::seconds(2);
+  wf_cold.keep_home_rows = true;
+  wf_cold.warm.prefix = riv::seconds(18);
+  wf_cold.warm.attest_sample = 0.05;
+  wf_cold.warm.resalt = 0x77a7;
+  std::vector<CampaignPlan> sweep(8);
+  CampaignEvent wev;
+  wev.at = riv::seconds(1);
+  wev.duration = riv::seconds(1);
+  const CampaignFault kinds[] = {CampaignFault::kWifiOutage,
+                                 CampaignFault::kPowerBlip,
+                                 CampaignFault::kSensorDegrade};
+  for (std::size_t c = 0; c < sweep.size(); ++c) {
+    wev.kind = kinds[c % 3];
+    wev.fraction = c < 4 ? 0.3 : 0.15;
+    sweep[c].events.push_back(wev);
+  }
+  FleetOptions wf_warm = wf_cold;
+  wf_warm.warm.enabled = true;
+
+  std::vector<FleetResult> wf_cold_results;
+  std::vector<FleetResult> wf_warm_results;
+  Row wf_cold_row = run_sweep(wf_cold, sweep, jobs, wf_cold_results);
+  print_row("cold_sweep", wf_cold_row, jobs);
+  Row wf_warm_row = run_sweep(wf_warm, sweep, jobs, wf_warm_results);
+  print_row("warm_fleet", wf_warm_row, jobs);
+  bool warm_identical =
+      wf_warm_row.fault_digest == wf_cold_row.fault_digest &&
+      wf_warm_row.metrics_digest == wf_cold_row.metrics_digest;
+  for (std::size_t c = 0; warm_identical && c < wf_warm_results.size(); ++c)
+    warm_identical = wf_warm_results[c].rows == wf_cold_results[c].rows;
+  auto warm_speedup = [&] {
+    return wf_warm_row.homes_per_sec /
+           (wf_cold_row.homes_per_sec > 0 ? wf_cold_row.homes_per_sec : 1.0);
+  };
+  double speedup = warm_speedup();
+  if (speedup < 1.5) {
+    std::printf("warm speedup  %.2fx below floor, re-measuring once\n",
+                speedup);
+    wf_cold_row = run_sweep(wf_cold, sweep, jobs, wf_cold_results);
+    wf_warm_row = run_sweep(wf_warm, sweep, jobs, wf_warm_results);
+    speedup = warm_speedup();
+  }
+  bool warm_fast = speedup >= 1.5;
+  std::printf("warm speedup  warm/cold homes/s %.2fx (floor 1.50x)  %s\n",
+              speedup, warm_fast ? "ok" : "TOO SLOW");
+  std::printf("warm identity %zu campaigns, rows+digests warm vs cold: %s\n",
+              sweep.size(), warm_identical ? "MATCH" : "DIFFER");
+
   std::string json = "{\n  \"bench\": \"fleet\",\n  \"scenarios\": {\n";
   append_json(json, "steady_fleet", steady_row, false);
   append_json(json, "chaos_fleet", chaos_row, false);
-  append_json(json, "observed_fleet", observed_row, true);
+  append_json(json, "observed_fleet", observed_row, false);
+  append_json(json, "cold_sweep", wf_cold_row, false);
+  append_json(json, "warm_fleet", wf_warm_row, true);
   json += "  }\n}\n";
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -328,7 +457,8 @@ int main(int argc, char** argv) {
     std::printf("json written: %s\n", json_path.c_str());
   }
 
-  int failures = (deterministic ? 0 : 1) + (observe_cheap ? 0 : 1);
+  int failures = (deterministic ? 0 : 1) + (observe_cheap ? 0 : 1) +
+                 (warm_fast ? 0 : 1) + (warm_identical ? 0 : 1);
   if (steady_row.homes_per_sec < 1000.0 * jobs &&
       steady_row.homes_per_sec < 1000.0) {
     // The >1k homes/s/core floor from the ISSUE; soft only in the sense
@@ -345,19 +475,32 @@ int main(int argc, char** argv) {
       }
       baseline += one;
     }
-    struct {
+    // Every scenario gets one paired re-measurement before its gate
+    // fires: shared CI boxes jitter, and a single bad trial should cost a
+    // re-run, not a red build. The print names the gate that tripped.
+    struct Check {
       const char* name;
       double current;
       double floor;  // fail below floor × baseline
-    } checks[] = {
-        // fail on >30% regression of the headline rate; the short
-        // chaos_fleet scenario is noisier on loaded CI boxes, so its gate
-        // only catches collapses.
-        {"steady_fleet", steady_row.homes_per_sec, 0.7},
-        {"chaos_fleet", chaos_row.homes_per_sec, 0.5},
-        {"observed_fleet", observed_row.homes_per_sec, 0.7},
+      std::function<double()> remeasure;
     };
-    for (const auto& c : checks) {
+    std::vector<Check> checks = {
+        // fail on >30% regression of the headline rate; the short
+        // chaos_fleet and warm_fleet scenarios are noisier on loaded CI
+        // boxes, so their gates only catch collapses.
+        {"steady_fleet", steady_row.homes_per_sec, 0.7,
+         [&] { return run_scenario(steady, jobs).homes_per_sec; }},
+        {"chaos_fleet", chaos_row.homes_per_sec, 0.5,
+         [&] { return run_scenario(chaos, jobs).homes_per_sec; }},
+        {"observed_fleet", observed_row.homes_per_sec, 0.7,
+         [&] { return run_scenario(observed, jobs).homes_per_sec; }},
+        {"warm_fleet", wf_warm_row.homes_per_sec, 0.5,
+         [&] {
+           std::vector<FleetResult> rs;
+           return run_sweep(wf_warm, sweep, jobs, rs).homes_per_sec;
+         }},
+    };
+    for (auto& c : checks) {
       double base = baseline_homes_per_sec(baseline, c.name);
       if (base <= 0) {
         std::fprintf(stderr, "baseline missing scenario %s\n", c.name);
@@ -365,6 +508,13 @@ int main(int argc, char** argv) {
         continue;
       }
       double ratio = c.current / base;
+      if (ratio < c.floor) {
+        std::printf("check %-14s gate tripped: homes/s %.2fx of baseline "
+                    "(floor %.1fx), re-measuring once\n",
+                    c.name, ratio, c.floor);
+        c.current = c.remeasure();
+        ratio = c.current / base;
+      }
       bool ok = ratio >= c.floor;
       std::printf("check %-14s %10.0f vs baseline %10.0f homes/s  "
                   "(%.2fx, floor %.1fx)  %s\n",

@@ -46,11 +46,14 @@ void LogicInstance::start() {
 void LogicInstance::arm_periodic(OpState& op, Stream& stream) {
   Duration period = stream.window.spec().trigger.period;
   RIV_ASSERT(period.us > 0, "periodic trigger needs a positive period");
-  timers_.schedule_after(period, [this, &op, &stream] {
-    take_pending(op, stream);
-    evaluate(op);
-    arm_periodic(op, stream);
-  });
+  stream.periodic_timer = timers_.schedule_after(
+      period, [this, &op, &stream] { periodic_fire(op, stream); });
+}
+
+void LogicInstance::periodic_fire(OpState& op, Stream& stream) {
+  take_pending(op, stream);
+  evaluate(op);
+  arm_periodic(op, stream);
 }
 
 void LogicInstance::on_sensor_event(const devices::SensorEvent& e) {
@@ -184,6 +187,100 @@ void LogicInstance::on_staleness_violation(SensorId sensor,
                                            std::uint32_t epoch) {
   ++staleness_violations_;
   if (staleness_handler_) staleness_handler_(sensor, epoch);
+}
+
+void LogicInstance::clone_state(BinaryWriter& w) const {
+  w.u64(ops_.size());
+  for (const auto& [name, op] : ops_) {
+    w.str(name);
+    w.u64(op.streams.size());
+    for (const Stream& stream : op.streams) {
+      const std::deque<devices::SensorEvent>& buf = stream.window.buffer();
+      w.u64(buf.size());
+      for (const devices::SensorEvent& e : buf) devices::encode_clone(w, e);
+      w.u8(stream.pending ? 1 : 0);
+      if (stream.pending) {
+        w.u64(stream.pending->events.size());
+        for (const devices::SensorEvent& e : stream.pending->events)
+          devices::encode_clone(w, e);
+      }
+      TimePoint t;
+      std::uint64_t seq;
+      bool live = stream.periodic_timer != 0 &&
+                  timers_.sim().timer_info(stream.periodic_timer, &t, &seq);
+      w.u8(live ? 1 : 0);
+      if (live) {
+        w.u64(stream.periodic_timer);
+        w.time_point(t);
+        w.u64(seq);
+      }
+    }
+  }
+  w.u64(local_kv_.size());
+  for (const auto& [key, value] : local_kv_) {
+    w.str(key);
+    w.f64(value);
+  }
+  w.u32(emit_seq_);
+  w.u8(started_ ? 1 : 0);
+  w.provenance_id(last_cause_);
+  w.provenance_id(trigger_cause_);
+  w.u64(events_consumed_);
+  w.u64(triggers_fired_);
+  w.u64(combiner_blocked_);
+  w.u64(commands_issued_);
+  w.u64(staleness_violations_);
+}
+
+void LogicInstance::restore_clone(BinaryReader& r) {
+  RIV_ASSERT(!started_, "clone restore requires a not-started instance");
+  const std::uint64_t n_ops = r.u64();
+  RIV_ASSERT(n_ops == ops_.size(), "clone restore: operator count mismatch");
+  for (auto& [name, op] : ops_) {
+    RIV_ASSERT(r.str() == name, "clone restore: operator order mismatch");
+    const std::uint64_t n_streams = r.u64();
+    RIV_ASSERT(n_streams == op.streams.size(),
+               "clone restore: stream count mismatch");
+    for (Stream& stream : op.streams) {
+      std::deque<devices::SensorEvent> buf;
+      const std::uint64_t n_buf = r.u64();
+      for (std::uint64_t i = 0; i < n_buf; ++i)
+        buf.push_back(devices::decode_clone_event(r));
+      stream.window.restore_buffer(std::move(buf));
+      if (r.u8() != 0) {
+        StreamWindow pending;
+        pending.stream = stream.key;
+        const std::uint64_t n_pending = r.u64();
+        pending.events.reserve(n_pending);
+        for (std::uint64_t i = 0; i < n_pending; ++i)
+          pending.events.push_back(devices::decode_clone_event(r));
+        stream.pending = std::move(pending);
+      }
+      if (r.u8() != 0) {
+        sim::TimerId tid = r.u64();
+        TimePoint t = r.time_point();
+        std::uint64_t seq = r.u64();
+        stream.periodic_timer = timers_.restore_at(
+            tid, t, seq,
+            [this, &o = op, &s = stream] { periodic_fire(o, s); });
+      }
+    }
+  }
+  local_kv_.clear();
+  const std::uint64_t n_kv = r.u64();
+  for (std::uint64_t i = 0; i < n_kv; ++i) {
+    std::string key = r.str();
+    local_kv_[std::move(key)] = r.f64();
+  }
+  emit_seq_ = r.u32();
+  started_ = r.u8() != 0;
+  last_cause_ = r.provenance_id();
+  trigger_cause_ = r.provenance_id();
+  events_consumed_ = r.u64();
+  triggers_fired_ = r.u64();
+  combiner_blocked_ = r.u64();
+  commands_issued_ = r.u64();
+  staleness_violations_ = r.u64();
 }
 
 }  // namespace riv::appmodel

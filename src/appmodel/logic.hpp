@@ -67,12 +67,22 @@ class LogicInstance {
 
   const AppGraph& graph() const { return *graph_; }
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Unlike checkpoints (which re-execute logic state), a clone carries the
+  // full live engine: window buffers, pending trigger windows, periodic
+  // timers, local KV, sequence counters and provenance cursors. Restore
+  // targets a freshly constructed, not-started instance built from the
+  // same graph; start() afterwards is a no-op.
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   struct Stream {
     std::string key;  // "s:<sensor>" or "o:<operator>"
     std::optional<SensorId> sensor;
     Window window;
     std::optional<StreamWindow> pending;
+    sim::TimerId periodic_timer{0};
   };
   struct OpState {
     const OperatorSpec* spec;
@@ -89,6 +99,7 @@ class LogicInstance {
 
   void feed(OpState& op, Stream& stream, const devices::SensorEvent& e);
   void arm_periodic(OpState& op, Stream& stream);
+  void periodic_fire(OpState& op, Stream& stream);
   void try_trigger_event_driven(OpState& op, Stream& stream);
   void take_pending(OpState& op, Stream& stream);
   void evaluate(OpState& op);

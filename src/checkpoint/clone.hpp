@@ -1,0 +1,90 @@
+// Warm snapshot clones: restore a captured home directly, no re-execution.
+//
+// PR 7's RIVC checkpoints treat serialized state as an *attestation
+// surface*: timer callbacks are closures, so restore() re-executes the
+// scenario from its identity and byte-compares. That is the right
+// trust model for archival checkpoints, but it makes the checkpoint
+// useless as a performance primitive — restoring costs as much as the
+// run it saves.
+//
+// This module adds the second path (DESIGN.md §16): every timer-owning
+// component serializes its own pending timers (exact id/t/seq triples)
+// alongside its data, and restore rebuilds the closures itself — it knows
+// its own callbacks — re-registering them through
+// Simulation::schedule_restored. The target must be a freshly built,
+// never-started deployment with the same identity (same HomeSpec /
+// builder calls); apply_warm_home() then overwrites its state in one pass
+// and the clone continues exactly where the source stood. Correctness is
+// attested by *sampling*: capture optionally embeds the PR 7
+// checkpoint_state sections, and attest_clone() byte-compares a fresh
+// capture of the restored clone against them (the fleet runs this on the
+// observe.cpp hash-threshold-sampled subset, not on every clone).
+//
+// The capture requires in-flight tracking (network frames, device
+// deliveries) to have been enabled since before the source started —
+// enable_clone_tracking() — because a radio frame mid-air is a pending
+// timer some component must own and re-create.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace riv::workload {
+class HomeDeployment;
+}
+
+namespace riv::checkpoint {
+
+// One captured home, held entirely in memory. Buffers are reused across
+// capture calls (clear() keeps capacity) so a shard warming many homes
+// allocates its scratch once.
+struct WarmImage {
+  std::uint64_t seed{0};  // home seed (identity; rejected on mismatch)
+  TimePoint at{};         // virtual time of capture
+  std::uint32_t n_processes{0};
+  std::uint32_t n_sensors{0};
+  std::vector<std::byte> kernel;   // Simulation clone header
+  std::vector<std::byte> metrics;  // shared + per-process registries
+  std::vector<std::byte> network;
+  std::vector<std::byte> devices;
+  std::vector<std::vector<std::byte>> procs;  // one per process, pid order
+  // PR 7 checkpoint sections of the source (attestation reference);
+  // empty unless capture was asked for it.
+  std::vector<std::byte> attest;
+
+  std::size_t bytes() const;
+  void clear();
+};
+
+// Turn on in-flight tracking for every component of `home` that owns
+// transient timers. Must run before home.start().
+void enable_clone_tracking(workload::HomeDeployment& home);
+
+// Serialize the live deployment into `out` (buffers reused). `seed` is
+// the home's identity seed (the caller knows it; HomeDeployment does not
+// retain it). with_attest additionally embeds the PR 7 checkpoint
+// sections for later attest_clone() calls.
+void capture_warm_home(workload::HomeDeployment& home, std::uint64_t seed,
+                       WarmImage& out, bool with_attest);
+
+// Restore `img` into `target`, a freshly built, never-started deployment
+// of the same identity. Returns false (and sets *error, never touching
+// the target's state machine mid-way) when the deployment-level identity
+// differs: seed, process count, or sensor count. Deeper structural
+// mismatches (diverged builder calls with matching counts) fail hard via
+// component-level identity asserts.
+bool apply_warm_home(const WarmImage& img, workload::HomeDeployment& target,
+                     std::uint64_t seed, std::string* error);
+
+// Sampled background attestation: byte-compare the PR 7 checkpoint
+// sections of the restored clone against the reference embedded at
+// capture. Returns "" when identical, else the first difference
+// (rivc.hpp diff semantics). Requires img.attest (capture with
+// with_attest=true).
+std::string attest_clone(const WarmImage& img,
+                         workload::HomeDeployment& clone);
+
+}  // namespace riv::checkpoint

@@ -23,6 +23,15 @@ namespace riv {
 
 class BinaryWriter {
  public:
+  BinaryWriter() = default;
+  // Reuse an existing buffer's capacity: contents are discarded, the
+  // allocation is kept. Hot capture paths (warm-fleet snapshots) encode
+  // into the same scratch repeatedly instead of reallocating per home.
+  explicit BinaryWriter(std::vector<std::byte>&& reuse)
+      : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v) {
     u8(static_cast<std::uint8_t>(v));

@@ -97,6 +97,13 @@ class Rng {
   // future draw).
   const std::array<std::uint64_t, 4>& state() const { return state_; }
 
+  // Resume a generator mid-stream from a serialized state (the snapshot
+  // clone path, DESIGN.md §16). The state fully determines every future
+  // draw, so a restored generator continues the source's exact sequence.
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

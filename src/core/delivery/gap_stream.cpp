@@ -96,26 +96,77 @@ void GapStream::start() {
 void GapStream::schedule_epoch(std::uint32_t epoch) {
   const Duration e = ctx_.edge.polling.epoch;
   const TimePoint boundary{static_cast<std::int64_t>(epoch) * e.us};
-  ctx_.timers->schedule_at(boundary, [this, epoch, boundary] {
-    if (trace::active(trace::Component::kDelivery)) {
-      trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
-                  trace::Kind::kEpoch,
-                  trace::fu(trace::Key::kApp, ctx_.app.value),
-                  trace::fu(trace::Key::kEpoch, epoch));
-    }
-    if (forwarder() == ctx_.self) {
-      ++polls_issued_;
-      ctx_.poll(epoch);
-    }
-    // The app-bearing process reports a staleness violation when the
-    // previous epoch produced nothing (Gap may legitimately have gaps).
-    if (epoch > first_epoch_ && ctx_.logic_active_here() &&
-        epochs_seen_.count(epoch - 1) == 0) {
-      ++staleness_reports_;
-      ctx_.staleness(epoch - 1);
-    }
-    schedule_epoch(epoch + 1);
-  });
+  epoch_pending_ = epoch;
+  epoch_timer_ = ctx_.timers->schedule_at(
+      boundary, [this, epoch] { on_epoch_boundary(epoch); });
+}
+
+void GapStream::on_epoch_boundary(std::uint32_t epoch) {
+  const Duration e = ctx_.edge.polling.epoch;
+  const TimePoint boundary{static_cast<std::int64_t>(epoch) * e.us};
+  if (trace::active(trace::Component::kDelivery)) {
+    trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
+                trace::Kind::kEpoch,
+                trace::fu(trace::Key::kApp, ctx_.app.value),
+                trace::fu(trace::Key::kEpoch, epoch));
+  }
+  if (forwarder() == ctx_.self) {
+    ++polls_issued_;
+    ctx_.poll(epoch);
+  }
+  // The app-bearing process reports a staleness violation when the
+  // previous epoch produced nothing (Gap may legitimately have gaps).
+  if (epoch > first_epoch_ && ctx_.logic_active_here() &&
+      epochs_seen_.count(epoch - 1) == 0) {
+    ++staleness_reports_;
+    ctx_.staleness(epoch - 1);
+  }
+  schedule_epoch(epoch + 1);
+}
+
+void GapStream::clone_state(BinaryWriter& w) const {
+  checkpoint_state(w);
+  TimePoint t;
+  std::uint64_t seq;
+  bool epoch_live = epoch_timer_ != 0 &&
+                    ctx_.timers->sim().timer_info(epoch_timer_, &t, &seq);
+  w.u8(epoch_live ? 1 : 0);
+  if (epoch_live) {
+    w.u64(epoch_timer_);
+    w.time_point(t);
+    w.u64(seq);
+    w.u32(epoch_pending_);
+  }
+}
+
+void GapStream::restore_clone(BinaryReader& r) {
+  first_epoch_ = r.u32();
+  recent_order_.clear();
+  recent_.clear();
+  const std::uint64_t n_recent = r.u64();
+  for (std::uint64_t i = 0; i < n_recent; ++i) {
+    EventId id = r.event_id();
+    recent_order_.push_back(id);
+    recent_.insert(id);
+  }
+  epochs_seen_.clear();
+  const std::uint64_t n_epochs = r.u64();
+  for (std::uint64_t i = 0; i < n_epochs; ++i)
+    epochs_seen_.insert(epochs_seen_.end(), r.u32());
+  ingested_ = r.u64();
+  forwards_ = r.u64();
+  discarded_ = r.u64();
+  polls_issued_ = r.u64();
+  staleness_reports_ = r.u64();
+  if (r.u8() != 0) {
+    sim::TimerId tid = r.u64();
+    TimePoint t = r.time_point();
+    std::uint64_t seq = r.u64();
+    std::uint32_t epoch = r.u32();
+    epoch_pending_ = epoch;
+    epoch_timer_ = ctx_.timers->restore_at(
+        tid, t, seq, [this, epoch] { on_epoch_boundary(epoch); });
+  }
 }
 
 }  // namespace riv::core

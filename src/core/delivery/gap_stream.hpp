@@ -57,6 +57,11 @@ class GapStream {
     w.u64(staleness_reports_);
   }
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Checkpoint fields plus the epoch-boundary timer (poll streams only).
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   // The process hosting the active logic node, per our local view.
   std::optional<ProcessId> app_bearing() const;
@@ -65,6 +70,7 @@ class GapStream {
   void deliver_dedup(const devices::SensorEvent& e, const char* src);
   void note_epoch(const devices::SensorEvent& e);
   void schedule_epoch(std::uint32_t epoch);
+  void on_epoch_boundary(std::uint32_t epoch);
   std::uint32_t current_epoch() const;
 
   StreamContext ctx_;
@@ -79,6 +85,9 @@ class GapStream {
   std::uint64_t discarded_{0};
   std::uint64_t polls_issued_{0};
   std::uint64_t staleness_reports_{0};
+
+  sim::TimerId epoch_timer_{0};
+  std::uint32_t epoch_pending_{0};
 };
 
 }  // namespace riv::core

@@ -209,47 +209,117 @@ void GaplessStream::start() {
 void GaplessStream::schedule_epoch(std::uint32_t epoch) {
   const Duration e = ctx_.edge.polling.epoch;
   const TimePoint boundary{static_cast<std::int64_t>(epoch) * e.us};
+  epoch_pending_ = epoch;
+  epoch_timer_ = ctx_.timers->schedule_at(
+      boundary, [this, epoch] { on_epoch_boundary(epoch); });
+}
 
+void GaplessStream::on_epoch_boundary(std::uint32_t epoch) {
+  const Duration e = ctx_.edge.polling.epoch;
+  const TimePoint boundary{static_cast<std::int64_t>(epoch) * e.us};
+  if (trace::active(trace::Component::kDelivery)) {
+    trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
+                trace::Kind::kEpoch,
+                trace::fu(trace::Key::kApp, ctx_.app.value),
+                trace::fu(trace::Key::kEpoch, epoch));
+  }
   // Poll slot: rank among the *alive* active sensor nodes is computed at
   // the epoch boundary, so slot assignment adapts to failures without any
   // coordination messages (§4.1).
-  ctx_.timers->schedule_at(boundary, [this, epoch, e, boundary] {
-    if (trace::active(trace::Component::kDelivery)) {
-      trace::emit(boundary, ctx_.self, trace::Component::kDelivery,
-                  trace::Kind::kEpoch,
-                  trace::fu(trace::Key::kApp, ctx_.app.value),
-                  trace::fu(trace::Key::kEpoch, epoch));
+  if (ctx_.in_range) {
+    std::vector<ProcessId> pollers;
+    const std::set<ProcessId>& view = ctx_.view();
+    for (ProcessId p : ctx_.in_range_processes) {
+      if (view.count(p) != 0) pollers.push_back(p);
     }
-    if (ctx_.in_range) {
-      std::vector<ProcessId> pollers;
-      const std::set<ProcessId>& view = ctx_.view();
-      for (ProcessId p : ctx_.in_range_processes) {
-        if (view.count(p) != 0) pollers.push_back(p);
-      }
-      auto it = std::find(pollers.begin(), pollers.end(), ctx_.self);
-      if (it != pollers.end()) {
-        const auto rank = static_cast<std::int64_t>(it - pollers.begin());
-        const auto n = static_cast<std::int64_t>(pollers.size());
-        TimePoint slot = boundary + Duration{rank * e.us / n};
-        ctx_.timers->schedule_at(slot, [this, epoch] {
-          if (!epoch_seen(epoch)) {
-            ++polls_issued_;
-            ctx_.poll(epoch);
-          }
-        });
-      }
+    auto it = std::find(pollers.begin(), pollers.end(), ctx_.self);
+    if (it != pollers.end()) {
+      const auto rank = static_cast<std::int64_t>(it - pollers.begin());
+      const auto n = static_cast<std::int64_t>(pollers.size());
+      TimePoint slot = boundary + Duration{rank * e.us / n};
+      slot_epoch_ = epoch;
+      slot_timer_ = ctx_.timers->schedule_at(
+          slot, [this, epoch] { on_poll_slot(epoch); });
     }
-    // Staleness check for the *previous* epoch (only epochs we actually
-    // scheduled polls for — the partial startup epoch does not count).
-    if (epoch > first_epoch_) {
-      std::uint32_t prev = epoch - 1;
-      if (!epoch_seen(prev) && ctx_.logic_active_here()) {
-        ++staleness_reports_;
-        ctx_.staleness(prev);
-      }
+  }
+  // Staleness check for the *previous* epoch (only epochs we actually
+  // scheduled polls for — the partial startup epoch does not count).
+  if (epoch > first_epoch_) {
+    std::uint32_t prev = epoch - 1;
+    if (!epoch_seen(prev) && ctx_.logic_active_here()) {
+      ++staleness_reports_;
+      ctx_.staleness(prev);
     }
-    schedule_epoch(epoch + 1);
-  });
+  }
+  schedule_epoch(epoch + 1);
+}
+
+void GaplessStream::on_poll_slot(std::uint32_t epoch) {
+  if (!epoch_seen(epoch)) {
+    ++polls_issued_;
+    ctx_.poll(epoch);
+  }
+}
+
+void GaplessStream::clone_state(BinaryWriter& w) const {
+  checkpoint_state(w);
+  sim::Simulation& sim = ctx_.timers->sim();
+  TimePoint t;
+  std::uint64_t seq;
+  bool epoch_live = epoch_timer_ != 0 &&
+                    sim.timer_info(epoch_timer_, &t, &seq);
+  w.u8(epoch_live ? 1 : 0);
+  if (epoch_live) {
+    w.u64(epoch_timer_);
+    w.time_point(t);
+    w.u64(seq);
+    w.u32(epoch_pending_);
+  }
+  bool slot_live = slot_timer_ != 0 && sim.timer_info(slot_timer_, &t, &seq);
+  w.u8(slot_live ? 1 : 0);
+  if (slot_live) {
+    w.u64(slot_timer_);
+    w.time_point(t);
+    w.u64(seq);
+    w.u32(slot_epoch_);
+  }
+}
+
+void GaplessStream::restore_clone(BinaryReader& r) {
+  first_epoch_ = r.u32();
+  epochs_seen_.clear();
+  const std::uint64_t n_epochs = r.u64();
+  // Sorted on the wire: end-hinted inserts keep restore O(n) — rb_done_
+  // holds one entry per event broadcast and dominates a long prefix.
+  for (std::uint64_t i = 0; i < n_epochs; ++i)
+    epochs_seen_.insert(epochs_seen_.end(), r.u32());
+  rb_done_.clear();
+  const std::uint64_t n_rb = r.u64();
+  for (std::uint64_t i = 0; i < n_rb; ++i)
+    rb_done_.insert(rb_done_.end(), r.event_id());
+  ingested_ = r.u64();
+  ring_forwards_ = r.u64();
+  rb_initiated_ = r.u64();
+  polls_issued_ = r.u64();
+  staleness_reports_ = r.u64();
+  if (r.u8() != 0) {
+    sim::TimerId tid = r.u64();
+    TimePoint t = r.time_point();
+    std::uint64_t seq = r.u64();
+    std::uint32_t epoch = r.u32();
+    epoch_pending_ = epoch;
+    epoch_timer_ = ctx_.timers->restore_at(
+        tid, t, seq, [this, epoch] { on_epoch_boundary(epoch); });
+  }
+  if (r.u8() != 0) {
+    sim::TimerId tid = r.u64();
+    TimePoint t = r.time_point();
+    std::uint64_t seq = r.u64();
+    std::uint32_t epoch = r.u32();
+    slot_epoch_ = epoch;
+    slot_timer_ = ctx_.timers->restore_at(
+        tid, t, seq, [this, epoch] { on_poll_slot(epoch); });
+  }
 }
 
 }  // namespace riv::core

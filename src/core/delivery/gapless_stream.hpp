@@ -72,6 +72,13 @@ class GaplessStream {
     w.u64(staleness_reports_);
   }
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Checkpoint fields plus the epoch-boundary and poll-slot timers with
+  // their (id, t, seq) identities (poll streams only; push streams hold
+  // no timers).
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   std::optional<ProcessId> ring_successor() const;
   void accept_new_event(const devices::SensorEvent& e, PidSet seen,
@@ -83,6 +90,8 @@ class GaplessStream {
   void note_epoch(const devices::SensorEvent& e);
   bool epoch_seen(std::uint32_t epoch) const;
   void schedule_epoch(std::uint32_t epoch);
+  void on_epoch_boundary(std::uint32_t epoch);
+  void on_poll_slot(std::uint32_t epoch);
   std::uint32_t current_epoch() const;
 
   StreamContext ctx_;
@@ -95,6 +104,11 @@ class GaplessStream {
   std::uint64_t rb_initiated_{0};
   std::uint64_t polls_issued_{0};
   std::uint64_t staleness_reports_{0};
+
+  sim::TimerId epoch_timer_{0};
+  std::uint32_t epoch_pending_{0};  // epoch the boundary timer will open
+  sim::TimerId slot_timer_{0};
+  std::uint32_t slot_epoch_{0};
 };
 
 }  // namespace riv::core

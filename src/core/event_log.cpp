@@ -319,4 +319,69 @@ void EventLog::checkpoint_state(BinaryWriter& w) const {
   }
 }
 
+void EventLog::clone_state(BinaryWriter& w) const {
+  w.app_id(app_);
+  w.u64(streams_.size());
+  for (const auto& [sensor, stream] : streams_) {
+    w.sensor_id(sensor);
+    w.u32(stream.first_retained);
+    w.u32(stream.prefix_next);
+    w.u8(stream.monotone ? 1 : 0);
+    w.u64(stream.events.size());
+    for (const auto& [seq, se] : stream.events) {
+      w.u32(seq);
+      w.u32(se.event.epoch);
+      w.time_point(se.event.emitted_at);
+      w.u8(se.event.poll_based ? 1 : 0);
+      w.f64(se.event.value);
+      w.u32(se.event.payload_size);
+      w.u64(se.event.chain);
+      w.u64(se.event.mac);
+      write_pid_set(w, se.seen);
+      write_pid_set(w, se.need);
+    }
+  }
+  w.u64(processed_hw_.size());
+  for (const auto& [sensor, t] : processed_hw_) {
+    w.sensor_id(sensor);
+    w.time_point(t);
+  }
+}
+
+void EventLog::restore_clone(BinaryReader& r) {
+  AppId app = r.app_id();
+  RIV_ASSERT(app == app_, "clone restore: event log app identity mismatch");
+  streams_.clear();
+  const std::uint64_t n_streams = r.u64();
+  for (std::uint64_t i = 0; i < n_streams; ++i) {
+    SensorId sensor = r.sensor_id();
+    Stream& stream = streams_[sensor];
+    stream.first_retained = r.u32();
+    stream.prefix_next = r.u32();
+    stream.monotone = r.u8() != 0;
+    const std::uint64_t n_events = r.u64();
+    for (std::uint64_t j = 0; j < n_events; ++j) {
+      std::uint32_t seq = r.u32();
+      StoredEvent se;
+      se.event.id = EventId{sensor, seq};
+      se.event.epoch = r.u32();
+      se.event.emitted_at = r.time_point();
+      se.event.poll_based = r.u8() != 0;
+      se.event.value = r.f64();
+      se.event.payload_size = r.u32();
+      se.event.chain = r.u64();
+      se.event.mac = r.u64();
+      se.seen = read_pid_set(r);
+      se.need = read_pid_set(r);
+      stream.events.emplace_hint(stream.events.end(), seq, std::move(se));
+    }
+  }
+  processed_hw_.clear();
+  const std::uint64_t n_hw = r.u64();
+  for (std::uint64_t i = 0; i < n_hw; ++i) {
+    SensorId sensor = r.sensor_id();
+    processed_hw_[sensor] = r.time_point();
+  }
+}
+
 }  // namespace riv::core

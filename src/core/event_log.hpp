@@ -80,6 +80,13 @@ class EventLog {
   // function of log content.
   void checkpoint_state(BinaryWriter& w) const;
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Unlike checkpoint_state this carries every in-memory event field
+  // (payload size, integrity trailer) so re-sends from a restored log
+  // are byte-for-byte what the source would have sent. No timers here.
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   // One per-sensor stream plus the bookkeeping that keeps the sync-path
   // queries (prefix_high_water, events_after) off O(n) scans: syncs run

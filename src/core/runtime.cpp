@@ -110,6 +110,24 @@ store::ReplicatedStore& RivuletProcess::kv() {
 }
 
 void RivuletProcess::build_state() {
+  build_volatile_shell();
+
+  fd_->start();
+  kv_->start();
+  for (auto& [id, app] : apps_) {
+    for (auto& [sensor, stream] : app.streams) {
+      if (stream.gapless) stream.gapless->start();
+      if (stream.gap) stream.gap->start();
+    }
+    evaluate_role(id, app);
+  }
+
+  // Initial sync plus periodic anti-entropy (see Config::sync_period).
+  sync_rings(/*force=*/true);
+  periodic_timer_ = timers_->schedule_after(config_.sync_period, periodic_);
+}
+
+void RivuletProcess::build_volatile_shell() {
   timers_ = std::make_unique<sim::ProcessTimers>(*sim_);
 
   fd_ = std::make_unique<membership::FailureDetector>(
@@ -156,27 +174,15 @@ void RivuletProcess::build_state() {
     on_device_event(e);
   });
 
-  fd_->start();
-  kv_->start();
-  for (auto& [id, app] : apps_) {
-    for (auto& [sensor, stream] : app.streams) {
-      if (stream.gapless) stream.gapless->start();
-      if (stream.gap) stream.gap->start();
-    }
-    evaluate_role(id, app);
-  }
-
-  // Initial sync plus periodic anti-entropy (see Config::sync_period).
-  // The closure lives in periodic_ (not in a shared_ptr it captures, which
-  // would be an unreclaimable cycle); queued copies capture only `this`,
-  // and teardown_state() cancels the timers before `this` can die.
-  sync_rings(/*force=*/true);
+  // The anti-entropy/retry closure lives in periodic_ (not in a shared_ptr
+  // it captures, which would be an unreclaimable cycle); queued copies
+  // capture only `this`, and teardown_state() cancels the timers before
+  // `this` can die. Scheduling happens in build_state()/restore_clone().
   periodic_ = [this] {
     sync_rings(/*force=*/true);
     retry_pending_commands();
-    timers_->schedule_after(config_.sync_period, periodic_);
+    periodic_timer_ = timers_->schedule_after(config_.sync_period, periodic_);
   };
-  timers_->schedule_after(config_.sync_period, periodic_);
 }
 
 void RivuletProcess::build_app_state(AppState& app,
@@ -487,13 +493,7 @@ void RivuletProcess::evaluate_role(AppId id, AppState& app) {
   }
 }
 
-void RivuletProcess::promote(AppId id, AppState& app) {
-  RIV_INFO("exec", to_string(self_) << " promotes logic for app "
-                                    << app.graph->name);
-  if (trace::active(trace::Component::kRuntime)) {
-    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
-                trace::Kind::kPromote, trace::fu(trace::Key::kApp, id.value));
-  }
+void RivuletProcess::make_logic(AppId id, AppState& app) {
   appmodel::LogicInstance::Callbacks cb;
   cb.self = self_;
   cb.next_command_id = [this] {
@@ -509,6 +509,16 @@ void RivuletProcess::promote(AppId id, AppState& app) {
   };
   app.logic = std::make_unique<appmodel::LogicInstance>(*app.graph, *sim_,
                                                         std::move(cb));
+}
+
+void RivuletProcess::promote(AppId id, AppState& app) {
+  RIV_INFO("exec", to_string(self_) << " promotes logic for app "
+                                    << app.graph->name);
+  if (trace::active(trace::Component::kRuntime)) {
+    trace::emit(sim_->now(), self_, trace::Component::kRuntime,
+                trace::Kind::kPromote, trace::fu(trace::Key::kApp, id.value));
+  }
+  make_logic(id, app);
   app.instance_delivered.clear();  // fresh instance epoch
   app.logic->start();
   metrics_->counter(metric_prefix(id) + ".promotions").add(1);
@@ -908,6 +918,149 @@ void RivuletProcess::checkpoint_state(BinaryWriter& w) const {
     w.u64(app.delivered);
     w.u64(app.instance_delivered.size());
     for (EventId e : app.instance_delivered) w.event_id(e);
+  }
+}
+
+void RivuletProcess::clone_state(BinaryWriter& w) const {
+  w.process_id(self_);
+  w.u8(up_ ? 1 : 0);
+  w.u8(started_ ? 1 : 0);
+  w.u32(next_cmd_seq_);
+  store_.checkpoint_state(w);  // full contents; clone reuses the encoding
+  w.u64(device_seqs_seen_.size());
+  for (const auto& [sensor, seqs] : device_seqs_seen_) {
+    w.sensor_id(sensor);
+    w.u64(seqs.size());
+    for (std::uint32_t s : seqs) w.u32(s);
+  }
+  if (!up_) return;  // volatile state exists only while the process is up
+
+  fd_->clone_state(w);
+  kv_->clone_state(w);
+  w.u64(apps_.size());
+  for (const auto& [id, app] : apps_) {
+    w.app_id(id);
+    w.u64(app.chain.size());
+    for (ProcessId p : app.chain) w.process_id(p);
+    app.log->clone_state(w);
+    w.u64(app.streams.size());
+    for (const auto& [sensor, stream] : app.streams) {
+      w.sensor_id(sensor);
+      w.u8(stream.gapless != nullptr ? 1 : 0);
+      if (stream.gapless != nullptr)
+        stream.gapless->clone_state(w);
+      else
+        stream.gap->clone_state(w);
+    }
+    w.u8(app.logic != nullptr ? 1 : 0);
+    if (app.logic != nullptr) app.logic->clone_state(w);
+    w.u8(app.last_successor.has_value() ? 1 : 0);
+    if (app.last_successor.has_value()) w.process_id(*app.last_successor);
+    w.u64(app.commands_seen.size());
+    for (CommandId c : app.commands_seen) w.command_id(c);
+    w.u64(app.pending_commands.size());
+    for (const auto& [c, pending] : app.pending_commands) {
+      w.command_id(c);
+      w.bytes(wire::encode(pending.payload));
+      w.time_point(pending.first_sent);
+      w.time_point(pending.last_sent);
+    }
+    w.u64(app.delivered);
+    w.u64(app.instance_delivered.size());
+    for (EventId e : app.instance_delivered) w.event_id(e);
+  }
+  TimePoint t;
+  std::uint64_t seq;
+  bool live =
+      periodic_timer_ != 0 && sim_->timer_info(periodic_timer_, &t, &seq);
+  w.u8(live ? 1 : 0);
+  if (live) {
+    w.u64(periodic_timer_);
+    w.time_point(t);
+    w.u64(seq);
+  }
+}
+
+void RivuletProcess::restore_clone(BinaryReader& r) {
+  RIV_ASSERT(!started_ && !up_,
+             "clone restore requires a fresh, never-started process");
+  ProcessId pid = r.process_id();
+  RIV_ASSERT(pid == self_, "clone restore: process identity mismatch");
+  up_ = r.u8() != 0;
+  started_ = r.u8() != 0;
+  next_cmd_seq_ = r.u32();
+  store_.restore_clone(r);
+  device_seqs_seen_.clear();
+  const std::uint64_t n_devs = r.u64();
+  for (std::uint64_t i = 0; i < n_devs; ++i) {
+    SensorId sensor = r.sensor_id();
+    std::set<std::uint32_t>& seqs = device_seqs_seen_[sensor];
+    const std::uint64_t n_seqs = r.u64();
+    // Sorted on the wire (encoded by set iteration): end-hinted inserts
+    // keep restore O(n) as these per-event sets grow with the prefix.
+    for (std::uint64_t j = 0; j < n_seqs; ++j) seqs.insert(seqs.end(), r.u32());
+  }
+  if (!up_) return;
+
+  build_volatile_shell();
+  fd_->restore_clone(r);
+  kv_->restore_clone(r);
+  const std::uint64_t n_apps = r.u64();
+  RIV_ASSERT(n_apps == apps_.size(), "clone restore: app count mismatch");
+  for (auto& [id, app] : apps_) {
+    RIV_ASSERT(r.app_id() == id, "clone restore: app order mismatch");
+    const std::uint64_t n_chain = r.u64();
+    RIV_ASSERT(n_chain == app.chain.size(),
+               "clone restore: placement chain length mismatch");
+    for (ProcessId p : app.chain) {
+      RIV_ASSERT(r.process_id() == p,
+                 "clone restore: placement chain mismatch");
+    }
+    app.log->restore_clone(r);
+    const std::uint64_t n_streams = r.u64();
+    RIV_ASSERT(n_streams == app.streams.size(),
+               "clone restore: stream count mismatch");
+    for (auto& [sensor, stream] : app.streams) {
+      RIV_ASSERT(r.sensor_id() == sensor,
+                 "clone restore: stream sensor mismatch");
+      const bool is_gapless = r.u8() != 0;
+      RIV_ASSERT(is_gapless == (stream.gapless != nullptr),
+                 "clone restore: stream guarantee mismatch");
+      if (stream.gapless != nullptr)
+        stream.gapless->restore_clone(r);
+      else
+        stream.gap->restore_clone(r);
+    }
+    if (r.u8() != 0) {
+      make_logic(id, app);
+      app.logic->restore_clone(r);
+    }
+    if (r.u8() != 0) app.last_successor = r.process_id();
+    app.commands_seen.clear();
+    const std::uint64_t n_cmds = r.u64();
+    for (std::uint64_t i = 0; i < n_cmds; ++i)
+      app.commands_seen.insert(app.commands_seen.end(), r.command_id());
+    app.pending_commands.clear();
+    const std::uint64_t n_pending = r.u64();
+    for (std::uint64_t i = 0; i < n_pending; ++i) {
+      CommandId c = r.command_id();
+      PendingCommand pending;
+      pending.payload = wire::decode_command_payload(r.bytes());
+      pending.first_sent = r.time_point();
+      pending.last_sent = r.time_point();
+      app.pending_commands.emplace(c, std::move(pending));
+    }
+    app.delivered = r.u64();
+    app.instance_delivered.clear();
+    const std::uint64_t n_inst = r.u64();
+    for (std::uint64_t i = 0; i < n_inst; ++i)
+      app.instance_delivered.insert(app.instance_delivered.end(), r.event_id());
+  }
+  if (r.u8() != 0) {
+    sim::TimerId tid = r.u64();
+    TimePoint t = r.time_point();
+    std::uint64_t seq = r.u64();
+    periodic_timer_ = timers_->restore_at(tid, t, seq, periodic_);
   }
 }
 

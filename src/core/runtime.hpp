@@ -82,6 +82,17 @@ class RivuletProcess {
   // app's log/delivery/execution/actuation state — for a checkpoint.
   void checkpoint_state(BinaryWriter& w) const;
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Unlike checkpoint_state (replayed through recover()+re-execution), a
+  // clone serializes the complete live runtime — including every pending
+  // timer and in-flight protocol artifact — and restore_clone() rebuilds
+  // it directly into a freshly constructed, never-started process: the
+  // volatile shell (detector, KV, streams, logic) is re-wired exactly as
+  // build_state() would, then each component restores its own data and
+  // timers. No messages are sent and no fresh timers are scheduled.
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   struct StreamState {
     appmodel::SensorEdge edge;  // merged edge (strongest guarantee wins)
@@ -124,6 +135,14 @@ class RivuletProcess {
   };
 
   void build_state();
+  // Construct the volatile runtime structures (timers, detector, KV,
+  // app/stream/closure wiring) without starting anything — shared by
+  // build_state() (which then starts them) and restore_clone() (which
+  // then overwrites their data and timers from a snapshot).
+  void build_volatile_shell();
+  // Construct an app's LogicInstance with runtime callbacks wired, not
+  // started. promote() adds start/replay/announcement on top.
+  void make_logic(AppId id, AppState& app);
   void teardown_state();
   void build_app_state(AppState& app, const std::map<ProcessId, int>& load);
   StreamState make_stream(AppState& app, const appmodel::SensorEdge& edge);
@@ -198,6 +217,7 @@ class RivuletProcess {
   // Periodic anti-entropy + command-retry closure; queued timer copies
   // capture `this` only, so no shared_ptr self-cycle (leak) exists.
   std::function<void()> periodic_;
+  sim::TimerId periodic_timer_{0};
   bool up_{false};
   bool started_{false};
   std::uint32_t next_cmd_seq_{1};

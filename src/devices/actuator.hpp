@@ -80,8 +80,22 @@ class Actuator {
   // dedup set, applied history, counters) for a checkpoint.
   void checkpoint_state(BinaryWriter& w) const;
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Mirrors Sensor: while tracking is on, commands in flight to the
+  // device are remembered as (timer id, Command) so clone_state can
+  // serialize them with their timer identity.
+  void set_clone_tracking(bool on);
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
+  struct InFlight {
+    sim::TimerId timer;
+    Command cmd;
+  };
+
   void apply(const Command& cmd);
+  void track_delivery(sim::TimerId id, const Command& cmd);
 
   sim::Simulation* sim_;
   ActuatorSpec spec_;
@@ -97,6 +111,9 @@ class Actuator {
   std::uint64_t duplicate_deliveries_{0};
   std::uint64_t unwarranted_actions_{0};
   std::uint64_t rejected_tas_{0};
+
+  bool clone_tracking_{false};
+  std::vector<InFlight> in_flight_;
 };
 
 }  // namespace riv::devices

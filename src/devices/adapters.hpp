@@ -59,6 +59,11 @@ class Adapter {
   void count_tx_frame() { ++frames_sent_; }
   std::uint64_t frames_received() const { return frames_received_; }
   std::uint64_t frames_sent() const { return frames_sent_; }
+  // Snapshot-clone restore (DESIGN.md §16).
+  void restore_counts(std::uint64_t rx, std::uint64_t tx) {
+    frames_received_ = rx;
+    frames_sent_ = tx;
+  }
 
  private:
   Technology tech_;

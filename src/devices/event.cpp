@@ -70,6 +70,30 @@ SensorEvent decode_event(BinaryReader& r) {
   return e;
 }
 
+void encode_clone(BinaryWriter& w, const SensorEvent& e) {
+  w.event_id(e.id);
+  w.u32(e.epoch);
+  w.time_point(e.emitted_at);
+  w.u8(e.poll_based ? 1 : 0);
+  w.f64(e.value);
+  w.u32(e.payload_size);
+  w.u64(e.chain);
+  w.u64(e.mac);
+}
+
+SensorEvent decode_clone_event(BinaryReader& r) {
+  SensorEvent e;
+  e.id = r.event_id();
+  e.epoch = r.u32();
+  e.emitted_at = r.time_point();
+  e.poll_based = r.u8() != 0;
+  e.value = r.f64();
+  e.payload_size = r.u32();
+  e.chain = r.u64();
+  e.mac = r.u64();
+  return e;
+}
+
 std::uint64_t event_mac(std::uint64_t key, const SensorEvent& e) {
   hash::Fnv1aStream h;
   h.put(&key, sizeof key);

@@ -41,6 +41,12 @@ struct SensorEvent {
 void encode(BinaryWriter& w, const SensorEvent& e);
 SensorEvent decode_event(BinaryReader& r);
 
+// Snapshot-clone encoding (DESIGN.md §16): unlike the 23-byte wire form
+// this carries every in-memory field (unquantized value, payload size,
+// integrity trailer) so restored state is byte-for-byte the original.
+void encode_clone(BinaryWriter& w, const SensorEvent& e);
+SensorEvent decode_clone_event(BinaryReader& r);
+
 // Keyed MAC authenticating the device->process radio hop of one event:
 // FNV-1a over (key, event id, epoch, emission time, flags, value bits,
 // chain). A forged event fails it; a replayed event passes it (the frame

@@ -185,4 +185,43 @@ void HomeBus::checkpoint_state(BinaryWriter& w) const {
   for (const auto& [p, handler] : handlers_) w.process_id(p);
 }
 
+void HomeBus::set_clone_tracking(bool on) {
+  for (auto& [id, sensor] : sensors_) sensor->set_clone_tracking(on);
+  for (auto& [id, actuator] : actuators_) actuator->set_clone_tracking(on);
+}
+
+void HomeBus::clone_state(BinaryWriter& w) const {
+  w.u64(sensors_.size());
+  for (const auto& [id, sensor] : sensors_) sensor->clone_state(w);
+  w.u64(actuators_.size());
+  for (const auto& [id, actuator] : actuators_) actuator->clone_state(w);
+  w.u64(adapters_.size());
+  for (const auto& [key, adapter] : adapters_) {
+    w.process_id(key.first);
+    w.u8(static_cast<std::uint8_t>(key.second));
+    w.u64(adapter.frames_received());
+    w.u64(adapter.frames_sent());
+  }
+}
+
+void HomeBus::restore_clone(BinaryReader& r) {
+  RIV_ASSERT(r.u64() == sensors_.size(),
+             "clone restore: sensor count mismatch (different scenario?)");
+  for (auto& [id, sensor] : sensors_) sensor->restore_clone(r);
+  RIV_ASSERT(r.u64() == actuators_.size(),
+             "clone restore: actuator count mismatch");
+  for (auto& [id, actuator] : actuators_) actuator->restore_clone(r);
+  RIV_ASSERT(r.u64() == adapters_.size(),
+             "clone restore: adapter count mismatch");
+  for (auto& [key, adapter] : adapters_) {
+    ProcessId pid = r.process_id();
+    auto tech = static_cast<Technology>(r.u8());
+    RIV_ASSERT(pid == key.first && tech == key.second,
+               "clone restore: adapter identity mismatch");
+    std::uint64_t rx = r.u64();
+    std::uint64_t tx = r.u64();
+    adapter.restore_counts(rx, tx);
+  }
+}
+
 }  // namespace riv::devices

@@ -76,6 +76,15 @@ class HomeBus {
   // the state) for a checkpoint.
   void checkpoint_state(BinaryWriter& w) const;
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Forwarded to every sensor and actuator (in-flight tracking).
+  void set_clone_tracking(bool on);
+  // Devices + adapter counters. Subscriptions are NOT serialized here:
+  // a restored process re-subscribes as part of its own restore, and the
+  // sampled attestation (checkpoint_state byte-compare) covers the set.
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
   // Fork-divergence lever: salt every sensor's RNG stream (and the
   // kernel's) so a forked copy of a warm home diverges deterministically
   // — see Sensor::perturb.

@@ -151,6 +151,20 @@ class Sensor {
   // chain and replay window, counters) for a checkpoint.
   void checkpoint_state(BinaryWriter& w) const;
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // While tracking is on, transmissions in the air are remembered as
+  // (timer id, destination, event) so clone_state can serialize them.
+  // Off by default; the normal emission path stays bookkeeping-free.
+  void set_clone_tracking(bool on);
+  // Full-state serialization for the clone path: RNG stream, links,
+  // emission cursor, integrity window, counters, plus the emission-loop
+  // timer, a pending poll response, and in-flight deliveries — each with
+  // its (id, t, seq) timer identity. Requires clone tracking on.
+  void clone_state(BinaryWriter& w) const;
+  // Restore into a freshly built sensor of the same spec (asserted);
+  // timers are re-created via ProcessTimers::restore_at.
+  void restore_clone(BinaryReader& r);
+
   // Fork-divergence lever: replace the RNG stream with a salted child
   // stream. Two forked copies of a warm deployment perturbed with
   // different salts diverge from here on (loss draws, jitter, emission
@@ -194,6 +208,24 @@ class Sensor {
   std::uint64_t polls_received_{0};
   std::uint64_t polls_dropped_{0};
   std::uint64_t polls_served_{0};
+
+  // Clone tracking (set_clone_tracking): the emission-loop timer and the
+  // pending poll response track their ids always (a member store is
+  // free); in-flight deliveries keep a (timer, dst, event) list only
+  // while tracking is on, pruned lazily as timers fire.
+  struct InFlight {
+    sim::TimerId timer;
+    ProcessId process;
+    SensorEvent event;
+  };
+  void track_delivery(sim::TimerId id, ProcessId process,
+                      const SensorEvent& e);
+  bool clone_tracking_{false};
+  sim::TimerId emission_timer_{0};
+  sim::TimerId poll_timer_{0};
+  ProcessId poll_from_{};
+  std::uint32_t poll_epoch_{0};
+  std::vector<InFlight> in_flight_;
 };
 
 // True for sensor kinds whose value is a 0/1 indicator.

@@ -30,6 +30,32 @@
 
 namespace riv::fleet {
 
+// Warm-fleet execution (DESIGN.md §16): run each home's fault-free
+// warm-up prefix once, snapshot-clone the warmed state, and restore it
+// into a fresh deployment per campaign — an N-campaign sweep pays
+// construction + warm-up once per home instead of N times.
+//
+// `prefix` is honored by BOTH the warm and the cold path: with a
+// non-zero prefix every campaign's fault schedule is shifted to start
+// after it (FaultInjector::arm offset), so the cold leg is the exact
+// reference the warm leg must reproduce bit-for-bit — same outcome
+// rows, fault digest, and merged-metrics fingerprint. `enabled` only
+// switches the *mechanism* (clone-restore vs re-execute); it never
+// changes results. prefix == 0 preserves the historical single-campaign
+// behavior byte-for-byte (faults armed before start).
+struct WarmOptions {
+  bool enabled{false};
+  Duration prefix{};  // fault-free warm-up shared by every campaign
+  // Fraction of warm homes whose restored clone is byte-attested against
+  // the PR 7 checkpoint surface before running (sampled background
+  // integrity check; selection is a pure function of (seed, index)).
+  double attest_sample{0.0};
+  // Non-zero: fold salt ^ campaign_index into the device RNGs at the
+  // prefix point (Sensor::perturb seam) so campaigns decorrelate. Applied
+  // identically on the warm and cold paths.
+  std::uint64_t resalt{0};
+};
+
 struct FleetOptions {
   std::uint64_t seed{1};
   std::uint64_t homes{1000};
@@ -39,6 +65,7 @@ struct FleetOptions {
   std::uint64_t shard_size{64};
   PopulationModel population{};
   CampaignPlan campaign{};
+  WarmOptions warm{};
   // Observability: sampled flight recording, SLO health scoring, top-K
   // worst-offender tracking (src/fleet/observe.hpp). Off by default.
   ObserveOptions observe{};
@@ -97,6 +124,21 @@ struct FleetResult {
 
 // Run the fleet. Deterministic: bit-identical result for any jobs value.
 FleetResult run_fleet(const FleetOptions& opt);
+
+// Multi-campaign fan-out: run the same population under each campaign,
+// returning one FleetResult per campaign (in input order; opt.campaign is
+// ignored). With opt.warm.enabled each home is built + warmed once and
+// snapshot-cloned per campaign; flight-sampled homes always run the cold
+// path so their recordings stay replayable by fleet_triage. Results are
+// bit-identical to running each campaign through run_fleet() with the
+// same WarmOptions prefix, for any jobs value.
+std::vector<FleetResult> run_fleet_campaigns(
+    const FleetOptions& opt, const std::vector<CampaignPlan>& campaigns);
+
+// Is `index` in the warm attestation sample? Pure function of
+// (fleet_seed, index, fraction) — exposed so tests can pin the selection.
+bool home_attested(std::uint64_t fleet_seed, std::uint64_t home_index,
+                   double fraction);
 
 // One home of the fleet, executed exactly as run_fleet() would execute
 // it, optionally with the flight recorder installed for the home's whole

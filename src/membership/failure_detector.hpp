@@ -67,6 +67,13 @@ class FailureDetector {
     for (ProcessId p : view_) w.process_id(p);
   }
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Full state including the heartbeat timer's (id, t, seq) identity.
+  // Restore requires a constructed-but-not-started detector with its
+  // hooks already installed (the runtime re-wires closures first).
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   void tick();
   void recompute_view();
@@ -88,6 +95,7 @@ class FailureDetector {
   PayloadProvider provider_;
   PayloadHandler handler_;
   bool started_{false};
+  sim::TimerId tick_timer_{0};
 };
 
 }  // namespace riv::membership

@@ -110,6 +110,21 @@ class Histogram {
     return buckets_;
   }
   std::int64_t sum_us() const { return sum_; }
+  std::int64_t min_raw() const { return min_; }
+
+  // Snapshot-clone restore (DESIGN.md §16): rebuild from serialized raw
+  // contents. min/max are the raw tracked values (min is the sentinel
+  // int64 max when the histogram is empty).
+  void restore(const std::array<std::uint64_t, kBucketCount>& buckets,
+               std::uint64_t overflow, std::uint64_t count, std::int64_t sum,
+               std::int64_t min, std::int64_t max) {
+    buckets_ = buckets;
+    overflow_ = overflow;
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
 
  private:
   static int bucket_index(std::int64_t v) {
@@ -152,6 +167,8 @@ class LatencyRecorder {
   void merge(const LatencyRecorder& other) { hist_.merge(other.hist_); }
   void reset() { hist_.reset(); }
   const Histogram& hist() const { return hist_; }
+  // Snapshot-clone restore (DESIGN.md §16): writable histogram access.
+  Histogram& mutable_hist() { return hist_; }
 
  private:
   Histogram hist_;

@@ -121,6 +121,23 @@ class SimNetwork {
   // seq) triples and in_flight_ is attested here as a count.
   void checkpoint_state(BinaryWriter& w) const;
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // While tracking is on, every frame put on the air is also remembered
+  // as (timer id, Message) so clone_state can serialize frames still in
+  // flight with their full contents and timer identity. Off by default:
+  // the normal per-frame path stays allocation- and bookkeeping-free.
+  void set_clone_tracking(bool on);
+  // Full-state serialization for the clone path: liveness, partition
+  // groups, override matrices, FIFO clamps, and every in-flight frame.
+  // Requires clone tracking to have been on since the last quiescent
+  // point (asserted: tracked live frames must equal in_flight_).
+  void clone_state(BinaryWriter& w) const;
+  // Restore into a freshly built network whose processes were registered
+  // in the same deterministic order (asserted); in-flight frames are
+  // re-created via Simulation::schedule_restored with their original
+  // (id, t, seq) identity.
+  void restore_clone(BinaryReader& r);
+
  private:
   class Endpoint;
 
@@ -153,6 +170,10 @@ class SimNetwork {
 
   void send_frame(Message msg);
   void transmit(Message msg);
+  // Delivery-time half of transmit: liveness/reachability re-check plus
+  // endpoint dispatch. Shared by the live path and restored frames.
+  void complete_delivery(const Message& msg);
+  void track_frame(sim::TimerId id, Message msg);
   Duration frame_delay(std::size_t bytes);
 
   sim::Simulation* sim_;
@@ -173,6 +194,15 @@ class SimNetwork {
   TypeCounters type_counters_[16];
   std::size_t in_flight_{0};
   Interposer interposer_;
+
+  // Clone tracking (set_clone_tracking): frames on the air with their
+  // timer ids. Entries whose timer already fired are pruned lazily.
+  struct TrackedFrame {
+    sim::TimerId timer;
+    Message msg;
+  };
+  bool clone_tracking_{false};
+  std::vector<TrackedFrame> tracked_;
 };
 
 }  // namespace riv::net

@@ -349,6 +349,109 @@ void Simulation::checkpoint_state(BinaryWriter& w) const {
   }
 }
 
+void Simulation::clone_state(BinaryWriter& w) const {
+  RIV_ASSERT(due_head_ == due_.size(), "clone capture mid-batch");
+  w.i64(now_.us);
+  w.u64(next_seq_);
+  w.u64(events_fired_);
+  w.u64(next_id_);
+  for (std::uint64_t word : rng_.state()) w.u64(word);
+  w.u64(live_count_);
+}
+
+void Simulation::begin_restore(BinaryReader& r) {
+  RIV_ASSERT(!in_restore_, "nested kernel restore");
+  RIV_ASSERT(live_count_ == 0,
+             "kernel restore target must be a fresh, not-yet-started "
+             "deployment (restored ids would collide otherwise)");
+  now_ = TimePoint{r.i64()};
+  cur_ = now_.us;
+  next_seq_ = r.u64();
+  events_fired_ = r.u64();
+  next_id_ = r.u64();
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.set_state(rng_state);
+  expected_live_ = r.u64();
+  restored_count_ = 0;
+
+  // Wipe storage wholesale: tombstones and free lists are artifacts of
+  // the target's (empty) history and must not leak into the clone.
+  nodes_.clear();
+  free_head_ = kNil;
+  for (int l = 0; l < kLevels; ++l) {
+    bitmap_[l] = 0;
+    for (int s = 0; s < kSlotsPerLevel; ++s) {
+      slot_head_[l][s] = kNil;
+      slot_tail_[l][s] = kNil;
+    }
+  }
+  wheel_count_ = 0;
+  overflow_ = {};
+  due_.clear();
+  due_head_ = 0;
+  live_count_ = 0;
+  // Empty id window at the restored high end; schedule_restored walks
+  // id_base_ down as owners re-register their (older) live ids.
+  id_base_ = next_id_;
+  std::fill(id_map_.begin(), id_map_.end(), kNil);
+  in_restore_ = true;
+}
+
+TimerId Simulation::schedule_restored(TimerId id, TimePoint t,
+                                      std::uint64_t seq, Callback cb) {
+  RIV_ASSERT(in_restore_, "schedule_restored outside a restore window");
+  RIV_ASSERT(id >= 1 && id < next_id_, "restored timer id out of window");
+  RIV_ASSERT(seq < next_seq_, "restored timer seq out of window");
+  RIV_ASSERT(t >= now_, "restored timer fires in the past");
+  if (id < id_base_) {
+    // Extend the ring window down to cover this id (capacity is bounded
+    // by id span; see the ring comment above).
+    std::size_t span = static_cast<std::size_t>(next_id_ - id);
+    if (span > id_map_.size()) {
+      std::size_t cap = id_map_.size();
+      while (span > cap) cap *= 2;
+      std::vector<std::uint32_t> fresh(cap, kNil);
+      for (TimerId i = id_base_; i < next_id_; ++i) {
+        std::uint32_t v = id_map_[i & (id_map_.size() - 1)];
+        if (v != kNil) fresh[i & (cap - 1)] = v;
+      }
+      id_map_ = std::move(fresh);
+    }
+    id_base_ = id;
+  }
+  RIV_ASSERT(id_lookup(id) == kNil, "duplicate restored timer id");
+  std::uint32_t idx = alloc_node();
+  Node& n = nodes_[idx];
+  n.t = t.us;
+  n.seq = seq;
+  n.id = id;
+  n.cancelled = false;
+  n.cb = std::move(cb);
+  id_map_[id & (id_map_.size() - 1)] = idx;
+  place(idx);
+  ++live_count_;
+  ++restored_count_;
+  return id;
+}
+
+void Simulation::finish_restore() {
+  RIV_ASSERT(in_restore_, "finish_restore outside a restore window");
+  RIV_ASSERT(restored_count_ == expected_live_,
+             "restored live-timer count mismatch: a timer owner outside "
+             "the clone set was pending at capture");
+  in_restore_ = false;
+}
+
+bool Simulation::timer_info(TimerId id, TimePoint* t,
+                            std::uint64_t* seq) const {
+  std::uint32_t idx = id_lookup(id);
+  if (idx == kNil) return false;
+  *t = TimePoint{nodes_[idx].t};
+  *seq = nodes_[idx].seq;
+  return true;
+}
+
 void Simulation::run_until(TimePoint t) {
   while (fire_next(t.us)) {
   }
@@ -372,6 +475,13 @@ TimerId ProcessTimers::schedule_after(Duration d, Simulation::Callback cb) {
 TimerId ProcessTimers::schedule_at(TimePoint t, Simulation::Callback cb) {
   garbage_collect();
   TimerId id = sim_->schedule_at(t, std::move(cb));
+  owned_.push_back(id);
+  return id;
+}
+
+TimerId ProcessTimers::restore_at(TimerId id, TimePoint t, std::uint64_t seq,
+                                  Simulation::Callback cb) {
+  sim_->schedule_restored(id, t, seq, std::move(cb));
   owned_.push_back(id);
   return id;
 }

@@ -34,6 +34,7 @@
 
 namespace riv {
 class BinaryWriter;
+class BinaryReader;
 }
 
 namespace riv::sim {
@@ -86,6 +87,42 @@ class Simulation : public Clock {
   // always serialize identically. Callbacks are closures and cannot be
   // serialized — see checkpoint/rivc.hpp for how restore() handles that.
   void checkpoint_state(BinaryWriter& w) const;
+
+  // --- snapshot-clone support (DESIGN.md §16) ---------------------------
+  //
+  // The clone format splits responsibility: the kernel serializes only its
+  // scalar header (time, counters, RNG, live-timer count) — per-timer
+  // (id, t, seq) triples live with the components that own them, because
+  // only the owners can rebuild the callbacks. Restore is three-phase:
+  // begin_restore() wipes every existing timer and restores the header,
+  // each owner re-creates its timers via schedule_restored() with the
+  // exact original id/t/seq, and finish_restore() asserts the restored
+  // count matches the capture — a timer owned by anything outside the
+  // restore set fails loudly instead of silently vanishing.
+
+  // Serialize the kernel scalar header. Must be called at rest (between
+  // run_until steps, never from inside a callback batch).
+  void clone_state(BinaryWriter& w) const;
+
+  // Wipe all pending timers and restore the scalar header. Requires an
+  // empty kernel (a freshly built, not-yet-started deployment): restored
+  // ids may collide with ids already handed out otherwise.
+  void begin_restore(BinaryReader& r);
+
+  // Re-create one live timer with its original identity. Only valid
+  // between begin_restore() and finish_restore(); id/seq must come from a
+  // capture of this kernel's restored header (id < next_id, seq <
+  // next_seq, t >= now).
+  TimerId schedule_restored(TimerId id, TimePoint t, std::uint64_t seq,
+                            Callback cb);
+
+  // Assert every captured live timer was restored and close the restore.
+  void finish_restore();
+
+  // Look up a pending timer's firing time and sequence (false when the
+  // timer already fired or was cancelled) — how owners capture the
+  // (id, t, seq) triples of the timers they track by id.
+  bool timer_info(TimerId id, TimePoint* t, std::uint64_t* seq) const;
 
  private:
   // --- wheel geometry ----------------------------------------------------
@@ -172,6 +209,11 @@ class Simulation : public Clock {
   TimerId next_id_{1};
   TimerId id_base_{1};
   std::vector<std::uint32_t> id_map_;
+
+  // Restore bookkeeping (begin_restore .. finish_restore window).
+  bool in_restore_{false};
+  std::uint64_t expected_live_{0};
+  std::uint64_t restored_count_{0};
 };
 
 // Timer façade owned by one simulated process. Crash semantics: when the
@@ -188,11 +230,17 @@ class ProcessTimers {
 
   TimerId schedule_after(Duration d, Simulation::Callback cb);
   TimerId schedule_at(TimePoint t, Simulation::Callback cb);
+  // Snapshot-clone restore: re-create an owned timer with its original
+  // identity (forwards to Simulation::schedule_restored and records
+  // ownership so crash-time cancel_all still covers it).
+  TimerId restore_at(TimerId id, TimePoint t, std::uint64_t seq,
+                     Simulation::Callback cb);
   void cancel(TimerId id);
   void cancel_all();
 
   TimePoint now() const { return sim_->now(); }
   Simulation& sim() { return *sim_; }
+  const Simulation& sim() const { return *sim_; }
 
  private:
   void garbage_collect();

@@ -56,6 +56,18 @@ class StableStore {
     }
   }
 
+  // Snapshot-clone restore (DESIGN.md §16): the clone format reuses the
+  // checkpoint encoding, so this is its exact inverse.
+  void restore_clone(BinaryReader& r) {
+    data_.clear();
+    const std::uint64_t n = r.u64();
+    data_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string key = r.str();
+      data_.insert_or_assign(std::move(key), r.bytes());
+    }
+  }
+
   // Keys with the given prefix, in lexicographic order (deterministic).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const {
     std::vector<std::string> out;

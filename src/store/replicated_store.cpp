@@ -33,7 +33,7 @@ ReplicatedStore::ReplicatedStore(Hooks hooks) : hooks_(std::move(hooks)) {
 
 void ReplicatedStore::start() {
   recover();
-  hooks_.timers->schedule_after(hooks_.sync_period, [this] {
+  sync_timer_ = hooks_.timers->schedule_after(hooks_.sync_period, [this] {
     anti_entropy();
   });
 }
@@ -124,9 +124,49 @@ void ReplicatedStore::anti_entropy() {
     if (*it != hooks_.self)
       hooks_.send(*it, /*is_sync=*/true, encode_batch());
   }
-  hooks_.timers->schedule_after(hooks_.sync_period, [this] {
+  sync_timer_ = hooks_.timers->schedule_after(hooks_.sync_period, [this] {
     anti_entropy();
   });
+}
+
+void ReplicatedStore::clone_state(BinaryWriter& w) const {
+  checkpoint_state(w);
+  TimePoint t;
+  std::uint64_t seq;
+  bool syncing = sync_timer_ != 0 &&
+                 hooks_.timers->sim().timer_info(sync_timer_, &t, &seq);
+  w.u8(syncing ? 1 : 0);
+  if (syncing) {
+    w.u64(sync_timer_);
+    w.time_point(t);
+    w.u64(seq);
+  }
+}
+
+void ReplicatedStore::restore_clone(BinaryReader& r) {
+  write_seq_ = r.u32();
+  writes_ = r.u64();
+  merges_applied_ = r.u64();
+  merges_ignored_ = r.u64();
+  entries_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    Entry e;
+    e.value = r.f64();
+    e.written_at = r.time_point();
+    e.seq = r.u32();
+    e.writer = r.process_id();
+    entries_[key] = e;
+  }
+  if (r.u8() != 0) {
+    sim::TimerId tid = r.u64();
+    TimePoint t = r.time_point();
+    std::uint64_t seq = r.u64();
+    sync_timer_ = hooks_.timers->restore_at(tid, t, seq, [this] {
+      anti_entropy();
+    });
+  }
 }
 
 void ReplicatedStore::on_update(const std::vector<std::byte>& payload) {

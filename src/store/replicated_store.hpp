@@ -98,6 +98,13 @@ class ReplicatedStore {
     }
   }
 
+  // --- snapshot-clone support (DESIGN.md §16) ------------------------
+  // Full state including the anti-entropy timer's (id, t, seq) identity.
+  // Restore requires a constructed-but-not-started store whose hooks are
+  // already wired (the runtime installs the closures first).
+  void clone_state(BinaryWriter& w) const;
+  void restore_clone(BinaryReader& r);
+
  private:
   bool merge(const std::string& key, const Entry& incoming);
   void persist(const std::string& key, const Entry& e);
@@ -111,6 +118,7 @@ class ReplicatedStore {
   std::uint64_t writes_{0};
   std::uint64_t merges_applied_{0};
   std::uint64_t merges_ignored_{0};
+  sim::TimerId sync_timer_{0};
 };
 
 }  // namespace riv::store

@@ -1,0 +1,66 @@
+// Tier-2 warm-fleet gate: a 256-home, 3-campaign sweep must produce
+// bit-identical per-campaign results warm vs cold and across --jobs,
+// with sampled flight recording and sampled attestation both on — the
+// full production configuration of the warm path at once.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/campaign.hpp"
+#include "fleet/fleet.hpp"
+
+namespace riv::fleet {
+namespace {
+
+TEST(WarmFleetDeterminism, Sweep256Homes3CampaignsWarmColdJobs) {
+  FleetOptions cold;
+  cold.seed = 11;
+  cold.homes = 256;
+  cold.jobs = 1;
+  cold.shard_size = 32;
+  cold.population.sim_duration = seconds(4);
+  cold.observe.sample = 0.05;
+  cold.keep_home_rows = true;
+  cold.warm.prefix = seconds(2);
+  cold.warm.attest_sample = 0.1;
+  cold.warm.resalt = 0x5eed;
+
+  std::vector<CampaignPlan> campaigns(3);
+  CampaignEvent ev;
+  ev.at = seconds(1);
+  ev.duration = seconds(2);
+  ev.fraction = 0.3;
+  ev.kind = CampaignFault::kWifiOutage;
+  campaigns[0].events.push_back(ev);
+  ev.kind = CampaignFault::kPowerBlip;
+  ev.fraction = 0.2;
+  campaigns[1].events.push_back(ev);
+  ev.kind = CampaignFault::kSensorDegrade;
+  ev.fraction = 0.4;
+  campaigns[2].events.push_back(ev);
+
+  FleetOptions warm = cold;
+  warm.warm.enabled = true;
+  FleetOptions warm8 = warm;
+  warm8.jobs = 8;
+
+  const std::vector<FleetResult> rc = run_fleet_campaigns(cold, campaigns);
+  const std::vector<FleetResult> rw = run_fleet_campaigns(warm, campaigns);
+  const std::vector<FleetResult> r8 = run_fleet_campaigns(warm8, campaigns);
+  ASSERT_EQ(rc.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(rc[c].rows, rw[c].rows) << "campaign " << c;
+    EXPECT_EQ(rc[c].fault_digest, rw[c].fault_digest) << "campaign " << c;
+    EXPECT_EQ(registry_fingerprint(rc[c].merged),
+              registry_fingerprint(rw[c].merged))
+        << "campaign " << c;
+    EXPECT_EQ(rw[c].rows, r8[c].rows) << "campaign " << c << " jobs";
+    EXPECT_EQ(rw[c].fault_digest, r8[c].fault_digest);
+    EXPECT_EQ(registry_fingerprint(rw[c].merged),
+              registry_fingerprint(r8[c].merged));
+    EXPECT_GT(rc[c].homes_hit, 0u) << "campaign " << c;
+  }
+}
+
+}  // namespace
+}  // namespace riv::fleet

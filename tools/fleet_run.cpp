@@ -47,6 +47,22 @@ void usage(const char* argv0) {
       "  --campaign SPEC       add a correlated fault event; SPEC =\n"
       "                        kind:at_s:dur_s:fraction[:region] with\n"
       "                        kind = wifi | power | rf. Repeatable.\n"
+      "  --sweep SPEC          multi-campaign fan-out: each --sweep adds\n"
+      "                        one single-event campaign (same SPEC syntax)\n"
+      "                        and the whole population runs under every\n"
+      "                        campaign. Repeatable; excludes --campaign,\n"
+      "                        --rows and --triage.\n"
+      "  --prefix S            fault-free warm-up prefix per home, virtual\n"
+      "                        seconds; campaign clocks start after it\n"
+      "                        (default 0)\n"
+      "  --warm / --no-warm    snapshot-clone the warmed prefix state per\n"
+      "                        home/per campaign instead of re-executing it\n"
+      "                        (default off; requires --prefix > 0; results\n"
+      "                        are bit-identical either way)\n"
+      "  --attest F            byte-attest fraction F of warm clones\n"
+      "                        against the checkpoint surface (default 0)\n"
+      "  --resalt N            fold salt N ^ campaign into device RNGs at\n"
+      "                        the prefix point (campaign decorrelation)\n"
       "  --regions N           region count for scoped events (default 16)\n"
       "  --rows PATH           write one CSV row per home to PATH\n"
       "  --sample F            flight-record fraction F of homes (pure\n"
@@ -98,8 +114,11 @@ int main(int argc, char** argv) {
   fleet::FleetOptions opt;
   opt.jobs = 0;  // auto-detect by default: fleets exist to fill cores
   std::string rows_path;
+  std::vector<fleet::CampaignPlan> sweep;
   int triage_k = 0;
   bool quiet = false;
+  bool warm = false;
+  long prefix_s = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -146,6 +165,38 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.campaign.events.push_back(ev);
+    } else if (arg == "--sweep") {
+      const char* spec = next();
+      fleet::CampaignEvent ev;
+      if (!fleet::parse_campaign_event(spec, ev)) {
+        std::fprintf(stderr,
+                     "bad --sweep spec '%s' (kind:at_s:dur_s:fraction"
+                     "[:region], kind = wifi|power|rf)\n",
+                     spec);
+        usage(argv[0]);
+        return 2;
+      }
+      fleet::CampaignPlan plan;
+      plan.events.push_back(ev);
+      sweep.push_back(std::move(plan));
+    } else if (arg == "--warm") {
+      warm = true;
+    } else if (arg == "--no-warm") {
+      warm = false;
+    } else if (arg == "--prefix") {
+      prefix_s = std::atol(next());
+      if (prefix_s < 0) {
+        std::fprintf(stderr, "bad --prefix seconds\n");
+        return 2;
+      }
+    } else if (arg == "--attest") {
+      opt.warm.attest_sample = std::atof(next());
+      if (opt.warm.attest_sample < 0 || opt.warm.attest_sample > 1) {
+        std::fprintf(stderr, "bad --attest fraction (want [0, 1])\n");
+        return 2;
+      }
+    } else if (arg == "--resalt") {
+      opt.warm.resalt = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--regions") {
       opt.campaign.n_regions = std::atoi(next());
       if (opt.campaign.n_regions < 1) {
@@ -198,6 +249,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad fleet parameters\n");
     return 2;
   }
+  opt.warm.prefix = seconds(prefix_s);
+  opt.warm.enabled = warm;
+  if (warm && prefix_s == 0) {
+    std::fprintf(stderr, "--warm requires --prefix > 0\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (!sweep.empty()) {
+    if (!opt.campaign.events.empty()) {
+      std::fprintf(stderr, "--sweep and --campaign are mutually exclusive\n");
+      usage(argv[0]);
+      return 2;
+    }
+    if (!rows_path.empty() || triage_k > 0) {
+      std::fprintf(stderr, "--sweep does not combine with --rows/--triage\n");
+      usage(argv[0]);
+      return 2;
+    }
+    for (fleet::CampaignPlan& plan : sweep)
+      plan.n_regions = opt.campaign.n_regions;
+  }
   // Triage needs the worst-K list, so it implies health scoring.
   if (triage_k > 0 &&
       opt.observe.top_k < static_cast<std::uint32_t>(triage_k))
@@ -214,10 +286,41 @@ int main(int argc, char** argv) {
 
   const int jobs = riv::resolve_jobs(opt.jobs);
   if (!quiet)
-    std::printf("fleet: %llu homes, seed %llu, %d jobs, %.0fs/home\n",
+    std::printf("fleet: %llu homes, seed %llu, %d jobs, %.0fs/home%s\n",
                 static_cast<unsigned long long>(opt.homes),
                 static_cast<unsigned long long>(opt.seed), jobs,
-                opt.population.sim_duration.seconds());
+                opt.population.sim_duration.seconds(),
+                opt.warm.enabled ? " (warm-start)" : "");
+
+  if (!sweep.empty()) {
+    // Multi-campaign fan-out: the same population under every campaign,
+    // one dashboard per campaign. With --warm each home's construction +
+    // warm-up prefix is paid once and snapshot-cloned per campaign.
+    double t0 = now_wall();
+    std::vector<fleet::FleetResult> results =
+        fleet::run_fleet_campaigns(opt, sweep);
+    double wall = now_wall() - t0;
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      if (quiet) {
+        std::printf(
+            "campaign %zu digest faults=%s metrics=%s\n", c,
+            riv::hash::fnv1a_digest(results[c].fault_digest).c_str(),
+            riv::hash::fnv1a_digest(
+                fleet::registry_fingerprint(results[c].merged))
+                .c_str());
+        continue;
+      }
+      std::printf("--- campaign %zu ---\n", c);
+      fleet::Dashboard dash =
+          fleet::make_dashboard(results[c], wall / results.size(), jobs);
+      std::printf("%s", fleet::render_dashboard(results[c], dash).c_str());
+      std::printf("%s",
+                  fleet::render_observation(results[c].observation).c_str());
+    }
+    if (!quiet) std::printf("wall            %.2fs (%zu campaigns)\n", wall,
+                            results.size());
+    return 0;
+  }
 
   double t0 = now_wall();
   fleet::FleetResult result = fleet::run_fleet(opt);
